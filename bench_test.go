@@ -1,0 +1,231 @@
+// Package civect's root benchmark harness: one testing.B benchmark per
+// table/figure of the paper's evaluation. Each benchmark runs a
+// scaled-down version of the corresponding experiment (the cmd/ciexp
+// tool regenerates the full tables) and reports simulator throughput
+// plus the figure's headline metric via b.ReportMetric.
+//
+//	go test -bench=. -benchmem
+package civect_test
+
+import (
+	"testing"
+
+	"civect/internal/ci"
+	"civect/internal/core"
+	"civect/internal/harness"
+	"civect/internal/workload"
+)
+
+// benchInstr is the per-simulation committed-instruction budget for
+// benchmarks; a fraction of the harness default so `go test -bench=.`
+// stays minutes-scale.
+const benchInstr = 30_000
+
+// benchSubset keeps multi-config sweeps to three representative
+// benchmarks: branchy (gcc), balanced (gzip), memory-bound (mcf).
+var benchSubset = []string{"gcc", "gzip", "mcf"}
+
+func newHarness() *harness.Harness {
+	return harness.New(harness.Options{MaxInstr: benchInstr, Benches: benchSubset})
+}
+
+func runSpec(b *testing.B, h *harness.Harness, spec harness.RunSpec) *core.Stats {
+	b.Helper()
+	st, err := h.Run(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// simulate runs one fresh (unmemoized) simulation per iteration and
+// reports simulated instructions per second.
+func simulate(b *testing.B, bench string, mode core.Mode, instr uint64) *core.Stats {
+	b.Helper()
+	wl, err := workload.Spec(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st *core.Stats
+	total := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(mode)
+		cfg.MaxInstr = instr
+		p, err := core.New(cfg, wl.Program, wl.NewMem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err = p.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.Committed
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "sim-instrs/s")
+	return st
+}
+
+// BenchmarkSimulatorScalar measures raw simulator speed (scal baseline).
+func BenchmarkSimulatorScalar(b *testing.B) {
+	st := simulate(b, "gcc", core.ModeScalar, benchInstr)
+	b.ReportMetric(st.IPC(), "IPC")
+}
+
+// BenchmarkSimulatorCI measures simulator speed with the full mechanism.
+func BenchmarkSimulatorCI(b *testing.B) {
+	st := simulate(b, "gcc", core.ModeCI, benchInstr)
+	b.ReportMetric(st.IPC(), "IPC")
+	b.ReportMetric(st.ReuseFraction(), "reuse-frac")
+}
+
+// BenchmarkHardwareCost reproduces the §3.1 storage accounting.
+func BenchmarkHardwareCost(b *testing.B) {
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = ci.HardwareCost(ci.DefaultCostConfig()).Total()
+	}
+	b.ReportMetric(float64(total), "bytes")
+}
+
+// BenchmarkFig04 sweeps the propagated stridedPCs per rename entry.
+func BenchmarkFig04(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		for _, pcs := range []int{1, 2, 4} {
+			st := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 2, Regs: 256, StridedPCs: pcs})
+			if pcs == 2 {
+				b.ReportMetric(st.IPC(), "IPC-2pc")
+				b.ReportMetric(st.AvgStridedPCs(), "avg-pcs")
+			}
+		}
+	}
+}
+
+// BenchmarkFig05 classifies mispredicted branches (reuse/selected/none).
+func BenchmarkFig05(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		st := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 256})
+		if st.Mispredicts > 0 {
+			b.ReportMetric(float64(st.EpisodesReused)/float64(st.Mispredicts), "reuse-episodes")
+			b.ReportMetric(float64(st.EpisodesSelected)/float64(st.Mispredicts), "selected-episodes")
+		}
+	}
+}
+
+// BenchmarkFig08 counts L1D accesses across the six machine configs.
+func BenchmarkFig08(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		scal := runSpec(b, h, harness.RunSpec{Bench: "gzip", Mode: core.ModeScalar, Ports: 1, Regs: 256})
+		wb := runSpec(b, h, harness.RunSpec{Bench: "gzip", Mode: core.ModeWideBus, Ports: 1, Regs: 256})
+		ciS := runSpec(b, h, harness.RunSpec{Bench: "gzip", Mode: core.ModeCI, Ports: 1, Regs: 256})
+		b.ReportMetric(float64(scal.L1D.Accesses), "scal1p-accesses")
+		b.ReportMetric(float64(wb.L1D.Accesses), "wb1p-accesses")
+		b.ReportMetric(float64(ciS.L1D.Accesses), "ci1p-accesses")
+	}
+}
+
+// BenchmarkFig09 is the headline IPC comparison at 512 registers.
+func BenchmarkFig09(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		var hm [3]float64
+		for j, mode := range []core.Mode{core.ModeScalar, core.ModeWideBus, core.ModeCI} {
+			res, err := h.RunAll(harness.RunSpec{Mode: mode, Ports: 1, Regs: 512})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hm[j] = harness.HarmonicMeanIPC(res)
+		}
+		b.ReportMetric(hm[0], "scal-hmIPC")
+		b.ReportMetric(hm[1], "wb-hmIPC")
+		b.ReportMetric(hm[2], "ci-hmIPC")
+		b.ReportMetric(hm[2]/hm[1]-1, "ci-gain")
+	}
+}
+
+// BenchmarkFig10 compares squash reuse with the full mechanism.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		wb := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeWideBus, Ports: 1, Regs: 512})
+		iw := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCIIW, Ports: 1, Regs: 512})
+		full := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 512})
+		b.ReportMetric(wb.IPC(), "wb-IPC")
+		b.ReportMetric(iw.IPC(), "ci-iw-IPC")
+		b.ReportMetric(full.IPC(), "ci-IPC")
+	}
+}
+
+// BenchmarkFig11 sweeps replicas per vectorized instruction.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		for _, rep := range []int{1, 2, 4, 8} {
+			st := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 512, Replicas: rep})
+			if rep == 2 || rep == 4 {
+				b.ReportMetric(st.IPC(), map[int]string{2: "IPC-2rep", 4: "IPC-4rep"}[rep])
+			}
+		}
+	}
+}
+
+// BenchmarkFig12 reports the instruction breakdown for 2 vs 4 replicas.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		two := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 512, Replicas: 2})
+		four := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 512, Replicas: 4})
+		b.ReportMetric(two.ReuseFraction(), "reuse-2rep")
+		b.ReportMetric(four.ReuseFraction(), "reuse-4rep")
+		b.ReportMetric(float64(four.ReplicasDispatched), "specCI-4rep")
+	}
+}
+
+// BenchmarkFig13 exercises the speculative data memory.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		mono := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 256})
+		spec := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 256, SpecMem: 768})
+		b.ReportMetric(mono.IPC(), "mono-IPC")
+		b.ReportMetric(spec.IPC(), "specmem-IPC")
+		b.ReportMetric(float64(spec.SpecMemCopies), "copies")
+	}
+}
+
+// BenchmarkFig14 compares the mechanism against full dynamic
+// vectorization [12].
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		ciSt := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 2, Regs: 256})
+		ve := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeVect, Ports: 2, Regs: 256})
+		b.ReportMetric(ciSt.IPC(), "ci-IPC")
+		b.ReportMetric(ve.IPC(), "vect-IPC")
+		b.ReportMetric(float64(ve.ReplicasDispatched), "vect-replicas")
+	}
+}
+
+// BenchmarkRegPressure reproduces the §2.4.2 DAEC ablation.
+func BenchmarkRegPressure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		noDaec := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 0, NoDAEC: true})
+		daec := runSpec(b, h, harness.RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 0})
+		b.ReportMetric(noDaec.RegAvgInUse, "regs-noDAEC")
+		b.ReportMetric(daec.RegAvgInUse, "regs-DAEC")
+	}
+}
+
+// BenchmarkStoreConflicts reproduces the §2.4.3 statistic.
+func BenchmarkStoreConflicts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := newHarness()
+		st := runSpec(b, h, harness.RunSpec{Bench: "gzip", Mode: core.ModeCI, Ports: 1, Regs: 256})
+		b.ReportMetric(st.StoreConflictRate(), "conflict-rate")
+	}
+}

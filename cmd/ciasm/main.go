@@ -1,0 +1,67 @@
+// Command ciasm assembles a program and runs it on the architectural
+// emulator, printing the disassembly and final register state — handy
+// for writing kernels before feeding them to the timing simulator.
+//
+// Usage:
+//
+//	ciasm program.s            # assemble + run
+//	ciasm -dis program.s       # assemble + disassemble only
+//	echo 'movi r1, 7
+//	halt' | ciasm -            # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"civect/internal/asm"
+	"civect/internal/emu"
+	"civect/internal/isa"
+)
+
+func main() {
+	disOnly := flag.Bool("dis", false, "disassemble without running")
+	maxInstr := flag.Uint64("max", 10_000_000, "instruction budget")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ciasm [-dis] [-max N] <file.s | ->")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciasm:", err)
+		os.Exit(1)
+	}
+
+	prog, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ciasm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(prog.Disassemble())
+	if *disOnly {
+		return
+	}
+
+	cpu := emu.New(nil)
+	if err := cpu.Run(prog, *maxInstr); err != nil {
+		fmt.Fprintln(os.Stderr, "ciasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nhalted after %d instructions; non-zero registers:\n", cpu.Executed)
+	for r := 0; r < isa.NumLogical; r++ {
+		if cpu.Regs[r] != 0 {
+			fmt.Printf("  R%-2d = %d (%#x)\n", r, cpu.Regs[r], cpu.Regs[r])
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command ciexp regenerates the paper's tables and figures over the
+// synthetic SpecInt2000 workloads.
+//
+// Usage:
+//
+//	ciexp -exp fig9                 # one experiment
+//	ciexp -exp all -instr 500000    # everything, bigger samples
+//	ciexp -list                     # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"civect/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (cost, fig4, fig5, fig8, fig9, fig10, fig11, fig12, fig13, fig14, regs, stores, ablate) or 'all'")
+	instr := flag.Uint64("instr", 200_000, "committed-instruction budget per simulation")
+	benches := flag.String("benches", "", "comma-separated benchmark subset (default: all twelve)")
+	workers := flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opt := harness.Options{MaxInstr: *instr, Workers: *workers}
+	if *benches != "" {
+		opt.Benches = strings.Split(*benches, ",")
+	}
+	h := harness.New(opt)
+
+	run := func(e harness.Experiment) {
+		t, err := e.Run(h)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ciexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+
+	if *exp == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.ExperimentByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ciexp: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,370 @@
+// Package asm implements a small two-pass text assembler for the ISA.
+// It exists so tests and examples can express kernels (like the paper's
+// Figure 1 hammock) readably instead of as instruction literals.
+//
+// Syntax, one instruction per line:
+//
+//	; comment (also # and //)
+//	loop:                 ; label definitions end with ':'
+//	    movi r1, 0
+//	    ld   r0, 0(r1)    ; loads/stores use disp(base)
+//	    beqz r0, else     ; branch targets are labels or absolute indices
+//	    addi r2, r2, 1
+//	    jmp  join
+//	else:
+//	    addi r3, r3, 1
+//	join:
+//	    add  r4, r4, r0
+//	    halt
+//
+// Register names are r0..r63 (case-insensitive). Immediates are decimal
+// or 0x-prefixed hexadecimal, optionally negative.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"civect/internal/isa"
+)
+
+// Assemble translates source into a program. name becomes Program.Name.
+func Assemble(name, source string) (*isa.Program, error) {
+	a := &assembler{labels: make(map[string]int)}
+	lines := strings.Split(source, "\n")
+
+	// Pass 1: record label positions.
+	pc := 0
+	for ln, raw := range lines {
+		text := stripComment(raw)
+		for {
+			text = strings.TrimSpace(text)
+			if text == "" {
+				break
+			}
+			if i := strings.Index(text, ":"); i >= 0 && isLabel(text[:i]) {
+				label := text[:i]
+				if _, dup := a.labels[label]; dup {
+					return nil, fmt.Errorf("asm: line %d: duplicate label %q", ln+1, label)
+				}
+				a.labels[label] = pc
+				text = text[i+1:]
+				continue
+			}
+			pc++
+			break
+		}
+	}
+
+	// Pass 2: encode.
+	code := make([]isa.Instr, 0, pc)
+	for ln, raw := range lines {
+		text := stripComment(raw)
+		for {
+			text = strings.TrimSpace(text)
+			if text == "" {
+				break
+			}
+			if i := strings.Index(text, ":"); i >= 0 && isLabel(text[:i]) {
+				text = text[i+1:]
+				continue
+			}
+			in, err := a.encode(text)
+			if err != nil {
+				return nil, fmt.Errorf("asm: line %d: %v", ln+1, err)
+			}
+			code = append(code, in)
+			break
+		}
+	}
+
+	p := &isa.Program{Name: name, Code: code}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and examples
+// with constant sources.
+func MustAssemble(name, source string) *isa.Program {
+	p, err := Assemble(name, source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	labels map[string]int
+}
+
+func stripComment(s string) string {
+	for _, mark := range []string{";", "#", "//"} {
+		if i := strings.Index(s, mark); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) encode(text string) (isa.Instr, error) {
+	fields := strings.Fields(strings.ReplaceAll(text, ",", " "))
+	if len(fields) == 0 {
+		return isa.Instr{}, fmt.Errorf("empty instruction")
+	}
+	mn := strings.ToLower(fields[0])
+	ops := fields[1:]
+
+	switch mn {
+	case "nop":
+		return expectN(isa.Instr{Op: isa.OpNop}, ops, 0)
+	case "halt":
+		return expectN(isa.Instr{Op: isa.OpHalt}, ops, 0)
+	case "movi":
+		return a.rdImm(isa.OpMovI, ops)
+	case "mov":
+		return a.rdRa(isa.OpMov, ops)
+	case "add", "sub", "mul", "div", "and", "or", "xor", "slt", "seq":
+		return a.rdRaRb(threeRegOp(mn), ops)
+	case "addi", "subi", "shli", "shri", "slti", "seqi":
+		return a.rdRaImm(regImmOp(mn), ops)
+	case "ld":
+		return a.memOp(isa.OpLd, ops)
+	case "st":
+		return a.memOp(isa.OpSt, ops)
+	case "beqz", "bnez":
+		op := isa.OpBEQZ
+		if mn == "bnez" {
+			op = isa.OpBNEZ
+		}
+		if len(ops) != 2 {
+			return isa.Instr{}, fmt.Errorf("%s wants 2 operands", mn)
+		}
+		ra, err := parseReg(ops[0])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		tgt, err := a.parseTarget(ops[1])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: op, Ra: ra, Target: tgt}, nil
+	case "jmp":
+		if len(ops) != 1 {
+			return isa.Instr{}, fmt.Errorf("jmp wants 1 operand")
+		}
+		tgt, err := a.parseTarget(ops[0])
+		if err != nil {
+			return isa.Instr{}, err
+		}
+		return isa.Instr{Op: isa.OpJmp, Target: tgt}, nil
+	}
+	return isa.Instr{}, fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+func threeRegOp(mn string) isa.Op {
+	switch mn {
+	case "add":
+		return isa.OpAdd
+	case "sub":
+		return isa.OpSub
+	case "mul":
+		return isa.OpMul
+	case "div":
+		return isa.OpDiv
+	case "and":
+		return isa.OpAnd
+	case "or":
+		return isa.OpOr
+	case "xor":
+		return isa.OpXor
+	case "slt":
+		return isa.OpSLT
+	case "seq":
+		return isa.OpSEQ
+	}
+	return isa.OpNop
+}
+
+func regImmOp(mn string) isa.Op {
+	switch mn {
+	case "addi":
+		return isa.OpAddI
+	case "subi":
+		return isa.OpSubI
+	case "shli":
+		return isa.OpShlI
+	case "shri":
+		return isa.OpShrI
+	case "slti":
+		return isa.OpSLTI
+	case "seqi":
+		return isa.OpSEQI
+	}
+	return isa.OpNop
+}
+
+func expectN(in isa.Instr, ops []string, n int) (isa.Instr, error) {
+	if len(ops) != n {
+		return isa.Instr{}, fmt.Errorf("%s wants %d operands, got %d", in.Op, n, len(ops))
+	}
+	return in, nil
+}
+
+func (a *assembler) rdImm(op isa.Op, ops []string) (isa.Instr, error) {
+	if len(ops) != 2 {
+		return isa.Instr{}, fmt.Errorf("%s wants 2 operands", op)
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	imm, err := parseImm(ops[1])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	return isa.Instr{Op: op, Rd: rd, Imm: imm}, nil
+}
+
+func (a *assembler) rdRa(op isa.Op, ops []string) (isa.Instr, error) {
+	if len(ops) != 2 {
+		return isa.Instr{}, fmt.Errorf("%s wants 2 operands", op)
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	ra, err := parseReg(ops[1])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	return isa.Instr{Op: op, Rd: rd, Ra: ra}, nil
+}
+
+func (a *assembler) rdRaRb(op isa.Op, ops []string) (isa.Instr, error) {
+	if len(ops) != 3 {
+		return isa.Instr{}, fmt.Errorf("%s wants 3 operands", op)
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	ra, err := parseReg(ops[1])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	rb, err := parseReg(ops[2])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	return isa.Instr{Op: op, Rd: rd, Ra: ra, Rb: rb}, nil
+}
+
+func (a *assembler) rdRaImm(op isa.Op, ops []string) (isa.Instr, error) {
+	if len(ops) != 3 {
+		return isa.Instr{}, fmt.Errorf("%s wants 3 operands", op)
+	}
+	rd, err := parseReg(ops[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	ra, err := parseReg(ops[1])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	imm, err := parseImm(ops[2])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	return isa.Instr{Op: op, Rd: rd, Ra: ra, Imm: imm}, nil
+}
+
+// memOp parses "ld rD, disp(rBase)" and "st rSrc, disp(rBase)".
+func (a *assembler) memOp(op isa.Op, ops []string) (isa.Instr, error) {
+	if len(ops) != 2 {
+		return isa.Instr{}, fmt.Errorf("%s wants 2 operands", op)
+	}
+	r, err := parseReg(ops[0])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	disp, base, err := parseMemRef(ops[1])
+	if err != nil {
+		return isa.Instr{}, err
+	}
+	if op == isa.OpLd {
+		return isa.Instr{Op: op, Rd: r, Ra: base, Imm: disp}, nil
+	}
+	return isa.Instr{Op: op, Rb: r, Ra: base, Imm: disp}, nil
+}
+
+func parseMemRef(s string) (disp int64, base isa.Reg, err error) {
+	open := strings.Index(s, "(")
+	close := strings.Index(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q, want disp(reg)", s)
+	}
+	dispStr := s[:open]
+	if dispStr == "" {
+		dispStr = "0"
+	}
+	disp, err = parseImm(dispStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = parseReg(s[open+1 : close])
+	return disp, base, err
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumLogical {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func (a *assembler) parseTarget(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if pc, ok := a.labels[s]; ok {
+		return pc, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("unknown label or target %q", s)
+	}
+	return n, nil
+}

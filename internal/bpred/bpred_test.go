@@ -1,0 +1,202 @@
+package bpred
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGshareBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two size")
+		}
+	}()
+	NewGshare(1000)
+}
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := NewGshare(1 << 16)
+	pc := uint64(100)
+	for i := 0; i < 32; i++ {
+		g.Update(pc, true)
+	}
+	if !g.Predict(pc) {
+		t.Error("should predict taken after long taken streak")
+	}
+	for i := 0; i < 64; i++ {
+		g.Update(pc, false)
+	}
+	if g.Predict(pc) {
+		t.Error("should predict not-taken after long not-taken streak")
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	// With global history, a strict alternation is perfectly predictable
+	// once warmed: each phase trains its own PHT entry.
+	g := NewGshare(1 << 16)
+	pc := uint64(0x40)
+	taken := false
+	for i := 0; i < 2000; i++ {
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		if g.Predict(pc) == taken {
+			correct++
+		}
+		g.Update(pc, taken)
+		taken = !taken
+	}
+	if correct < 190 {
+		t.Errorf("gshare should learn alternation, got %d/200", correct)
+	}
+}
+
+func TestGshareHistoryRepair(t *testing.T) {
+	g := NewGshare(1 << 10)
+	snap := g.HistorySnapshot()
+	g.SpeculativeShift(true)
+	g.SpeculativeShift(false)
+	if g.HistorySnapshot() == snap {
+		t.Error("speculative shifts must change history")
+	}
+	g.RestoreHistory(snap)
+	if g.HistorySnapshot() != snap {
+		t.Error("restore must reinstate the snapshot")
+	}
+}
+
+// Property: PHT counters stay within 0..3 under arbitrary training.
+func TestGshareCounterBounds(t *testing.T) {
+	f := func(pcs []uint16, dirs []bool) bool {
+		g := NewGshare(1 << 8)
+		n := len(pcs)
+		if len(dirs) < n {
+			n = len(dirs)
+		}
+		for i := 0; i < n; i++ {
+			g.Update(uint64(pcs[i]), dirs[i])
+		}
+		for _, c := range g.table {
+			if c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMBSBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two sets")
+		}
+	}()
+	NewMBS(63, 4)
+}
+
+func TestMBSUnknownBranchNotHard(t *testing.T) {
+	m := NewMBS(64, 4)
+	if m.Hard(0x123) {
+		t.Error("unknown branch must not be hard")
+	}
+}
+
+func TestMBSBiasedBranchEasy(t *testing.T) {
+	m := NewMBS(64, 4)
+	pc := uint64(0x10)
+	// Always taken: counter climbs to max -> easy.
+	for i := 0; i < 20; i++ {
+		m.Update(pc, true)
+	}
+	if m.Hard(pc) {
+		t.Error("always-taken branch should be easy (counter saturated high)")
+	}
+	pc2 := uint64(0x20)
+	for i := 0; i < 20; i++ {
+		m.Update(pc2, false)
+	}
+	if m.Hard(pc2) {
+		t.Error("never-taken branch should be easy (counter saturated low)")
+	}
+}
+
+func TestMBSAlternatingBranchHard(t *testing.T) {
+	m := NewMBS(64, 4)
+	pc := uint64(0x30)
+	for i := 0; i < 40; i++ {
+		m.Update(pc, i%2 == 0)
+	}
+	if !m.Hard(pc) {
+		t.Error("alternating branch should be hard (counter pinned mid-range)")
+	}
+}
+
+func TestMBSRandomishBranchHard(t *testing.T) {
+	m := NewMBS(64, 4)
+	pc := uint64(0x31)
+	pattern := []bool{true, true, false, true, false, false, true, false}
+	for i := 0; i < 10; i++ {
+		for _, d := range pattern {
+			m.Update(pc, d)
+		}
+	}
+	if !m.Hard(pc) {
+		t.Error("irregular branch should be hard")
+	}
+}
+
+func TestMBSDirectionChangeResetsToMid(t *testing.T) {
+	m := NewMBS(64, 4)
+	pc := uint64(0x40)
+	for i := 0; i < 20; i++ {
+		m.Update(pc, true) // saturate high
+	}
+	m.Update(pc, false) // direction change -> mid
+	if !m.Hard(pc) {
+		t.Error("after a direction change the counter is mid-range -> hard")
+	}
+}
+
+func TestMBSEviction(t *testing.T) {
+	m := NewMBS(1, 2) // one set, two ways
+	m.Update(0x1, true)
+	m.Update(0x2, true)
+	m.Update(0x1, true) // touch 0x1
+	m.Update(0x3, true) // evicts 0x2
+	if m.find(0x2) != nil {
+		t.Error("0x2 should have been evicted")
+	}
+	if m.find(0x1) == nil || m.find(0x3) == nil {
+		t.Error("0x1 and 0x3 should be resident")
+	}
+}
+
+func TestMBSSizeBytes(t *testing.T) {
+	// §3.1: "The MBS occupies 2048 bytes (4 ways * 64 elements per way *
+	// 8 bytes per element)".
+	m := NewMBS(64, 4)
+	if got := m.SizeBytes(); got != 2048 {
+		t.Errorf("MBS size = %d bytes, want 2048", got)
+	}
+}
+
+// Property: MBS counters stay within 0..15 regardless of history.
+func TestMBSCounterBounds(t *testing.T) {
+	f := func(dirs []bool) bool {
+		m := NewMBS(4, 2)
+		for _, d := range dirs {
+			m.Update(0x7, d)
+		}
+		e := m.find(0x7)
+		return e == nil || e.counter <= mbsMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package ci
+
+import "fmt"
+
+// CostConfig parameterises the §3.1 storage-cost accounting.
+type CostConfig struct {
+	SRSMTSets       int // 64
+	SRSMTAssoc      int // 4
+	StrideSets      int // 256
+	StrideAssoc     int // 4
+	MBSSets         int // 64
+	MBSAssoc        int // 4
+	NRBQEntries     int // 16
+	RenameEntries   int // 64 logical registers
+	RenameEntryCost int // 16 bytes (Figure 7: phys reg + V/S + Seq + stridedPC)
+}
+
+// DefaultCostConfig returns the paper's evaluated configuration.
+func DefaultCostConfig() CostConfig {
+	return CostConfig{
+		SRSMTSets: 64, SRSMTAssoc: 4,
+		StrideSets: 256, StrideAssoc: 4,
+		MBSSets: 64, MBSAssoc: 4,
+		NRBQEntries:   16,
+		RenameEntries: 64, RenameEntryCost: 16,
+	}
+}
+
+// Cost is the per-structure storage breakdown in bytes.
+type Cost struct {
+	SRSMT     int
+	Stride    int
+	MBS       int
+	NRBQ      int
+	CRP       int
+	RenameExt int
+}
+
+// Total sums all structures.
+func (c Cost) Total() int {
+	return c.SRSMT + c.Stride + c.MBS + c.NRBQ + c.CRP + c.RenameExt
+}
+
+// String renders the breakdown as the paper's §3.1 bullet list.
+func (c Cost) String() string {
+	return fmt.Sprintf(
+		"SRSMT            %6d bytes\n"+
+			"stride predictor %6d bytes\n"+
+			"MBS              %6d bytes\n"+
+			"NRBQ             %6d bytes\n"+
+			"CRP              %6d bytes\n"+
+			"rename extension %6d bytes\n"+
+			"total            %6d bytes (%.1f KB)",
+		c.SRSMT, c.Stride, c.MBS, c.NRBQ, c.CRP, c.RenameExt,
+		c.Total(), float64(c.Total())/1024)
+}
+
+// HardwareCost computes the §3.1 storage requirements:
+//
+//   - SRSMT: 4 ways × 64 sets × 45 bytes = 11520 bytes,
+//   - stride predictor: 4 ways × 256 sets × 24 bytes = 24576 bytes,
+//   - MBS: 4 ways × 64 sets × 8 bytes = 2048 bytes,
+//   - NRBQ: 16 entries × 8 bytes = 128 bytes,
+//   - CRP: 16 bytes,
+//   - rename-map extension: 64 entries × 16 bytes = 1024 bytes,
+//
+// totalling 39312 bytes ≈ 39 KB of extra storage.
+func HardwareCost(cfg CostConfig) Cost {
+	return Cost{
+		SRSMT:     cfg.SRSMTSets * cfg.SRSMTAssoc * 45,
+		Stride:    cfg.StrideSets * cfg.StrideAssoc * 24,
+		MBS:       cfg.MBSSets * cfg.MBSAssoc * 8,
+		NRBQ:      cfg.NRBQEntries * 8,
+		CRP:       16,
+		RenameExt: cfg.RenameEntries * cfg.RenameEntryCost,
+	}
+}

@@ -1,0 +1,239 @@
+package ci
+
+import (
+	"testing"
+	"testing/quick"
+
+	"civect/internal/isa"
+)
+
+func TestRegMask(t *testing.T) {
+	var m RegMask
+	if m.Has(0) || m.Has(63) {
+		t.Error("empty mask must have no bits")
+	}
+	m.Set(0)
+	m.Set(63)
+	if !m.Has(0) || !m.Has(63) {
+		t.Error("set bits must read back")
+	}
+	if m.Has(32) {
+		t.Error("unset bit must not read back")
+	}
+}
+
+func TestNRBQPushAndMask(t *testing.T) {
+	q := NewNRBQ(16)
+	q.PushBranch(1, 100, 110)
+	q.NoteDest(5)
+	q.NoteDest(6)
+	q.PushBranch(2, 120, 130)
+	q.NoteDest(7)
+
+	e := q.Find(1)
+	if e == nil || !e.Mask.Has(5) || !e.Mask.Has(6) || e.Mask.Has(7) {
+		t.Errorf("branch 1 mask wrong: %+v", e)
+	}
+	e2 := q.Find(2)
+	if e2 == nil || !e2.Mask.Has(7) || e2.Mask.Has(5) {
+		t.Errorf("branch 2 mask wrong: %+v", e2)
+	}
+
+	// OR from branch 1 to tail covers both regions.
+	m, ok := q.MaskFrom(1)
+	if !ok || !m.Has(5) || !m.Has(6) || !m.Has(7) {
+		t.Errorf("MaskFrom(1) = %b, ok=%v", m, ok)
+	}
+	// From branch 2 only its own region.
+	m, ok = q.MaskFrom(2)
+	if !ok || m.Has(5) || !m.Has(7) {
+		t.Errorf("MaskFrom(2) = %b, ok=%v", m, ok)
+	}
+	if _, ok := q.MaskFrom(99); ok {
+		t.Error("MaskFrom of unknown seq must report !ok")
+	}
+}
+
+func TestNRBQNoteDestWithoutBranch(t *testing.T) {
+	q := NewNRBQ(4)
+	q.NoteDest(3) // must not panic
+	if q.Len() != 0 {
+		t.Error("NoteDest must not create entries")
+	}
+}
+
+func TestNRBQOverflowDropsOldest(t *testing.T) {
+	q := NewNRBQ(2)
+	q.PushBranch(1, 10, 11)
+	q.PushBranch(2, 20, 21)
+	q.PushBranch(3, 30, 31)
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	if q.Find(1) != nil {
+		t.Error("oldest entry should have been dropped")
+	}
+	if q.Find(2) == nil || q.Find(3) == nil {
+		t.Error("younger entries should remain")
+	}
+}
+
+func TestNRBQSquashAndRetire(t *testing.T) {
+	q := NewNRBQ(8)
+	for s := uint64(1); s <= 5; s++ {
+		q.PushBranch(s, s*10, int(s*10)+1)
+	}
+	q.SquashYoungerThan(3)
+	if q.Len() != 3 || q.Find(4) != nil || q.Find(5) != nil {
+		t.Errorf("after squash len=%d", q.Len())
+	}
+	q.RetireUpTo(2)
+	if q.Len() != 1 || q.Find(3) == nil {
+		t.Errorf("after retire len=%d", q.Len())
+	}
+}
+
+func TestNRBQSizeBytes(t *testing.T) {
+	// §3.1: "The NRBQ occupies 128 bytes (16 entries * 8 bytes)".
+	if got := NewNRBQ(16).SizeBytes(); got != 128 {
+		t.Errorf("NRBQ size = %d, want 128", got)
+	}
+}
+
+func TestNRBQBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewNRBQ(0)
+}
+
+func TestCRPActivation(t *testing.T) {
+	var c CRP
+	if c.Valid {
+		t.Fatal("zero CRP must be invalid")
+	}
+	var m RegMask
+	m.Set(3)
+	c.Activate(50, m)
+	if !c.Valid || c.Reached || c.PC != 50 || !c.Mask.Has(3) {
+		t.Errorf("activation wrong: %+v", c)
+	}
+	ep := c.Episode
+	c.Activate(60, 0)
+	if c.Episode != ep+1 {
+		t.Error("episode must advance on each activation")
+	}
+	c.Deactivate()
+	if c.Valid {
+		t.Error("deactivate must clear valid")
+	}
+}
+
+func TestCRPMaskAccumulationAndReach(t *testing.T) {
+	var c CRP
+	c.Activate(10, 0)
+	// Before the re-convergent point, destinations accumulate.
+	if c.NoteFetch(5, 7, true) {
+		t.Error("pc 5 is not the re-convergent point")
+	}
+	if !c.Mask.Has(7) {
+		t.Error("destination must accumulate into the mask")
+	}
+	// A non-writing instruction accumulates nothing.
+	c.NoteFetch(6, 0, false)
+	if c.Mask.Has(0) {
+		t.Error("non-writing instruction must not set mask bits")
+	}
+	// Reaching the point sets R and stops accumulation.
+	if !c.NoteFetch(10, 9, true) {
+		t.Error("reaching the re-convergent PC must report reachedNow")
+	}
+	if c.Mask.Has(9) {
+		t.Error("the re-convergent instruction's dest must not accumulate")
+	}
+	c.NoteFetch(11, 8, true)
+	if c.Mask.Has(8) {
+		t.Error("accumulation must stop after the point is reached")
+	}
+}
+
+func TestCRPIndependent(t *testing.T) {
+	var c CRP
+	c.Activate(10, 0)
+	c.NoteFetch(5, 7, true)
+
+	// Not reached yet: nothing is independent.
+	if c.Independent([]isa.Reg{1}) {
+		t.Error("independence requires the re-convergent point reached")
+	}
+	c.NoteFetch(10, 0, false)
+	if !c.Independent([]isa.Reg{1, 2}) {
+		t.Error("sources with clear mask bits are independent")
+	}
+	if c.Independent([]isa.Reg{7}) {
+		t.Error("a source written in the region is dependent")
+	}
+	if c.Independent([]isa.Reg{1, 7}) {
+		t.Error("any dependent source makes the instruction dependent")
+	}
+	if !c.Independent(nil) {
+		t.Error("an instruction with no sources is independent")
+	}
+	c.Deactivate()
+	if c.Independent(nil) {
+		t.Error("inactive CRP reports nothing independent")
+	}
+}
+
+func TestCRPSizeBytes(t *testing.T) {
+	var c CRP
+	if c.SizeBytes() != 16 {
+		t.Errorf("CRP size = %d, want 16", c.SizeBytes())
+	}
+}
+
+// Property: MaskFrom(seq) equals the union of individual masks from seq
+// onward under arbitrary push/note sequences.
+func TestNRBQMaskFromProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewNRBQ(8)
+		model := []struct {
+			seq  uint64
+			mask RegMask
+		}{}
+		seq := uint64(0)
+		for _, op := range ops {
+			if op%3 == 0 {
+				seq++
+				q.PushBranch(seq, seq*4, int(seq*4)+1)
+				model = append(model, struct {
+					seq  uint64
+					mask RegMask
+				}{seq, 0})
+				if len(model) > 8 {
+					model = model[1:]
+				}
+			} else if len(model) > 0 {
+				r := isa.Reg(op % 64)
+				q.NoteDest(r)
+				model[len(model)-1].mask.Set(r)
+			}
+		}
+		for i, m := range model {
+			var want RegMask
+			for _, m2 := range model[i:] {
+				want |= m2.mask
+			}
+			got, ok := q.MaskFrom(m.seq)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

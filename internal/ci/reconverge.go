@@ -1,0 +1,47 @@
+// Package ci implements the hardware structures the paper adds for
+// control-flow independence: the re-convergence heuristics of §2.3.1
+// (Figure 2), the NRBQ (Not Retired Branch Queue) and CRP (Current
+// Re-convergent Point) with their logical-register write masks (§2.3.2),
+// the SRSMT (Scalar Register Set Map Table, Figure 6) that manages
+// replica sets (§2.3.3), and the §3.1 storage-cost accounting.
+//
+// The structures are purely architectural bookkeeping; the pipeline in
+// internal/core drives them and owns the resources (physical registers,
+// issue-queue slots) they reference.
+package ci
+
+import "civect/internal/isa"
+
+// EstimateReconvergence returns the estimated re-convergent point for
+// the branch at pc, following §2.3.1's heuristics:
+//
+//   - backward branch: the next instruction in program order (the
+//     closing branch of a loop, Figure 2-a);
+//   - forward branch whose predecessor-of-target is an unconditional
+//     forward jump: that jump's destination (if-then-else, Figure 2-c);
+//   - any other forward branch: the branch's target (if-then,
+//     Figure 2-b).
+//
+// The estimate need not be correct: a wrong re-convergent point costs
+// performance, never correctness. Non-branch PCs return pc+1.
+func EstimateReconvergence(p *isa.Program, pc int) int {
+	in := p.At(pc)
+	if !in.IsCondBranch() {
+		return pc + 1
+	}
+	if in.Target <= pc {
+		// Backward branch: loop structure.
+		return pc + 1
+	}
+	// Forward branch: analyze the instruction one location above the
+	// target address. (The paper fetches it; we inspect the static
+	// image, which carries the same information.)
+	above := p.At(in.Target - 1)
+	if above.IsJump() && above.Target > in.Target-1 {
+		// if-then-else: the "then" arm ends with a forward jump over
+		// the "else" arm; control re-converges at its destination.
+		return above.Target
+	}
+	// if-then: control re-converges at the branch target itself.
+	return in.Target
+}

@@ -1,0 +1,296 @@
+package ci
+
+import "civect/internal/isa"
+
+// OperandKind classifies how a replicated instruction's source operand
+// is identified in the SRSMT (the paper's seq1/seq2 fields: "identify
+// the instructions that compute the source operands if they have been
+// vectorized, or the value of the scalar operand otherwise").
+type OperandKind uint8
+
+const (
+	// OperandNone marks an unused operand slot.
+	OperandNone OperandKind = iota
+	// OperandScalar is a scalar operand captured by value at
+	// vectorization time; every replica uses the same value.
+	OperandScalar
+	// OperandVec is an operand produced by another vectorized
+	// instruction; replica k reads the producer entry's replica k.
+	OperandVec
+	// OperandSelf is a recurrence: replica k reads this entry's own
+	// replica k-1 (replica 0 uses the architectural value captured in
+	// Value), e.g. the accumulator in Figure 1's I11.
+	OperandSelf
+)
+
+// OperandRef is one seq1/seq2 slot.
+type OperandRef struct {
+	Kind OperandKind
+	// Value is the captured scalar (OperandScalar) or the seed of a
+	// recurrence (OperandSelf).
+	Value uint64
+	// PC and Gen identify the producer SRSMT entry for OperandVec; Gen
+	// guards against the producer entry being reallocated.
+	PC  uint64
+	Gen uint64
+	// Base is the producer's Decode cursor at the time this entry was
+	// created: consumer replica k reads the producer's absolute replica
+	// Base+k, which keeps the two instruction streams aligned.
+	Base int
+}
+
+// ReplicaState tracks one speculative instance through the pipeline.
+type ReplicaState uint8
+
+const (
+	// ReplicaWaiting sits in the issue queue waiting for operands,
+	// a functional unit, or a cache port.
+	ReplicaWaiting ReplicaState = iota
+	// ReplicaIssued is executing.
+	ReplicaIssued
+	// ReplicaDone has produced its value.
+	ReplicaDone
+	// ReplicaFailed could not produce a value (producer entry died);
+	// validating against it fails.
+	ReplicaFailed
+)
+
+// Replica is one speculative instance of a vectorized instruction.
+// Replica slots form a ring buffer indexed by absolute instance number;
+// Abs identifies which absolute instance currently occupies the slot.
+type Replica struct {
+	State ReplicaState
+	// Abs is the absolute replica index occupying this ring slot.
+	Abs int
+	// Dest is the physical register (monolithic mode) or speculative
+	// data memory position holding the result; -1 when the storage has
+	// been released.
+	Dest int
+	// Value is the computed result (also kept here so validation can
+	// proceed when the storage is the slow speculative memory).
+	Value uint64
+	// Addr is the memory address a load replica reads.
+	Addr uint64
+	// DoneAt is the cycle the value becomes available.
+	DoneAt uint64
+}
+
+// Entry is one SRSMT entry (Figure 6): the replicated instruction, its
+// replica set and consumption cursors, operand identities, the DAEC
+// counter and the address range of load replicas (§2.4.3).
+type Entry struct {
+	Valid bool
+	PC    uint64
+	// Gen distinguishes successive allocations of the same table way so
+	// stale cross-entry references can be detected.
+	Gen   uint64
+	Instr isa.Instr
+
+	IsLoad bool
+	// Stride is the predicted stride a vectorized load was created
+	// with; validation requires it to keep on being the same.
+	Stride int64
+	// BatchBase is the architectural address the current replica batch
+	// extends from (replica k reads BatchBase + Stride·(k+1)).
+	BatchBase uint64
+
+	Src1, Src2 OperandRef
+
+	// NRegs is the batch size: how many replicas the entry keeps ahead
+	// of the Decode cursor. The ring Replicas holds 2·NRegs slots so
+	// that consumed-but-uncommitted replicas survive for recovery
+	// replay ("in the case that not enough free registers are
+	// available ... a lower number of replicas or none at all are
+	// created").
+	NRegs int
+	// Cursors count dynamic instances of the instruction since the
+	// entry was created, so replica abs k always lines up with the
+	// k-th instance after the creator even when some instances find no
+	// replica and execute normally.
+	//
+	// Decode advances on every decoded instance (validated or not);
+	// Commit on every committed instance; Alloc is one past the newest
+	// allocated replica (indices skipped by Decode are never
+	// allocated — they stay holes).
+	Decode int
+	Commit int
+	Alloc  int
+	// CreatorSeq is the dynamic sequence number of the instance that
+	// created the entry; only younger instances move the cursors.
+	CreatorSeq uint64
+	// Issue counts replicas issued but not yet finished executing.
+	Issue int
+	// DAEC is the Dead Association Elimination Counter (§2.4.2).
+	DAEC int
+
+	// SeedPhys is the physical register seeding an OperandSelf
+	// recurrence when the seed value was not ready at creation;
+	// SeedCaptured marks the seed value stored (in Src1/Src2 .Value),
+	// SeedBroken that the seed register was squashed before capture.
+	SeedPhys     int
+	SeedCaptured bool
+	SeedBroken   bool
+
+	// HasRange marks RangeLo/RangeHi as meaningful (load entries).
+	HasRange         bool
+	RangeLo, RangeHi uint64
+
+	Replicas []Replica
+
+	// Episode attributes the entry to the CRP episode that selected it
+	// (reuse statistics, Figure 5).
+	Episode uint64
+
+	lru uint64
+}
+
+// Deallocatable reports whether the entry can be reclaimed: no
+// validation in progress and no replica executing (§2.3.3).
+func (e *Entry) Deallocatable() bool {
+	return e.Decode == e.Commit && e.Issue == 0
+}
+
+// Slot returns the ring slot for absolute replica index abs, or nil
+// when the slot has been reused for a different absolute index.
+func (e *Entry) Slot(abs int) *Replica {
+	if abs < 0 || len(e.Replicas) == 0 {
+		return nil
+	}
+	r := &e.Replicas[abs%len(e.Replicas)]
+	if r.Abs != abs {
+		return nil
+	}
+	return r
+}
+
+// CoversAddr reports whether addr falls in the entry's replica address
+// range (the §2.4.3 store coherence check).
+func (e *Entry) CoversAddr(addr uint64) bool {
+	return e.Valid && e.HasRange && addr >= e.RangeLo && addr <= e.RangeHi
+}
+
+// SRSMT is the Scalar Register Set Map Table: set-associative, indexed
+// by the PC of the vectorized instruction (Table 1: 64 sets, 4-way).
+type SRSMT struct {
+	sets  int
+	assoc int
+	ways  []Entry
+	clock uint64
+	gen   uint64
+}
+
+// NewSRSMT builds the table.
+func NewSRSMT(sets, assoc int) *SRSMT {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("ci: SRSMT sets must be a positive power of two")
+	}
+	if assoc <= 0 {
+		panic("ci: SRSMT associativity must be positive")
+	}
+	return &SRSMT{sets: sets, assoc: assoc, ways: make([]Entry, sets*assoc)}
+}
+
+func (t *SRSMT) set(pc uint64) []Entry {
+	s := int(pc) & (t.sets - 1)
+	return t.ways[s*t.assoc : (s+1)*t.assoc]
+}
+
+// Lookup returns the valid entry for pc, or nil.
+func (t *SRSMT) Lookup(pc uint64) *Entry {
+	ways := t.set(pc)
+	for i := range ways {
+		if ways[i].Valid && ways[i].PC == pc {
+			return &ways[i]
+		}
+	}
+	return nil
+}
+
+// Touch refreshes the entry's LRU stamp.
+func (t *SRSMT) Touch(e *Entry) {
+	t.clock++
+	e.lru = t.clock
+}
+
+// AllocCandidate returns the way to use for a new entry at pc: an
+// invalid way if one exists, else the LRU deallocatable way, else nil
+// ("If no entry can be deallocated, the instruction is not vectorized").
+// When the returned entry is Valid, the caller must release the
+// resources it owns before reinitialising it via Init.
+func (t *SRSMT) AllocCandidate(pc uint64) *Entry {
+	ways := t.set(pc)
+	var victim *Entry
+	for i := range ways {
+		if !ways[i].Valid {
+			return &ways[i]
+		}
+	}
+	for i := range ways {
+		if ways[i].Deallocatable() {
+			if victim == nil || ways[i].lru < victim.lru {
+				victim = &ways[i]
+			}
+		}
+	}
+	return victim
+}
+
+// Init (re)initialises a way returned by AllocCandidate for pc with a
+// fresh generation, returning the entry.
+func (t *SRSMT) Init(e *Entry, pc uint64, in isa.Instr) *Entry {
+	t.clock++
+	t.gen++
+	*e = Entry{Valid: true, PC: pc, Gen: t.gen, Instr: in, lru: t.clock}
+	return e
+}
+
+// Invalidate clears an entry. The caller releases owned resources
+// first.
+func (t *SRSMT) Invalidate(e *Entry) { *e = Entry{} }
+
+// ForEachValid calls fn for every valid entry; fn returning false stops
+// the walk.
+func (t *SRSMT) ForEachValid(fn func(*Entry) bool) {
+	for i := range t.ways {
+		if t.ways[i].Valid {
+			if !fn(&t.ways[i]) {
+				return
+			}
+		}
+	}
+}
+
+// OnRecovery performs the §2.4.4 recovery action: for every valid entry
+// the commit field is copied into the decode field, rewinding replica
+// consumption to the committed point. When countDAEC is set (branch
+// misprediction recoveries), the DAEC counter is incremented for
+// entries whose decode and commit were already equal and reset
+// otherwise (§2.4.2); entries whose DAEC reaches 2 are passed to dead,
+// which must release their resources, and are then invalidated.
+func (t *SRSMT) OnRecovery(countDAEC bool, dead func(*Entry)) {
+	for i := range t.ways {
+		e := &t.ways[i]
+		if !e.Valid {
+			continue
+		}
+		if countDAEC {
+			if e.Decode == e.Commit {
+				e.DAEC++
+			} else {
+				e.DAEC = 0
+			}
+		}
+		e.Decode = e.Commit
+		if e.DAEC >= 2 && e.Issue == 0 {
+			if dead != nil {
+				dead(e)
+			}
+			*e = Entry{}
+		}
+	}
+}
+
+// SizeBytes returns the §3.1 accounting: 45 bytes per element (Figure 6
+// with 4 replicas and 256 registers), 4 ways × 64 sets × 45 = 11520
+// bytes in the paper's configuration.
+func (t *SRSMT) SizeBytes() int { return t.sets * t.assoc * 45 }

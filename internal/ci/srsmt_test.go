@@ -1,0 +1,256 @@
+package ci
+
+import (
+	"testing"
+
+	"civect/internal/isa"
+)
+
+func TestSRSMTBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSRSMT(0, 4) },
+		func() { NewSRSMT(63, 4) },
+		func() { NewSRSMT(64, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSRSMTAllocLookup(t *testing.T) {
+	tab := NewSRSMT(64, 4)
+	if tab.Lookup(100) != nil {
+		t.Fatal("empty table lookup should be nil")
+	}
+	w := tab.AllocCandidate(100)
+	if w == nil || w.Valid {
+		t.Fatal("expected a free way")
+	}
+	e := tab.Init(w, 100, isa.Instr{Op: isa.OpLd})
+	if !e.Valid || e.PC != 100 || e.Gen == 0 {
+		t.Errorf("init wrong: %+v", e)
+	}
+	if tab.Lookup(100) != e {
+		t.Error("lookup should find the entry")
+	}
+	if tab.Lookup(101) != nil {
+		t.Error("different pc must not match")
+	}
+}
+
+func TestSRSMTGenerationsAdvance(t *testing.T) {
+	tab := NewSRSMT(64, 4)
+	e1 := tab.Init(tab.AllocCandidate(1), 1, isa.Instr{})
+	g1 := e1.Gen
+	tab.Invalidate(e1)
+	e2 := tab.Init(tab.AllocCandidate(1), 1, isa.Instr{})
+	if e2.Gen <= g1 {
+		t.Error("reallocation must get a fresh generation")
+	}
+}
+
+func TestSRSMTSetConflictAndEviction(t *testing.T) {
+	tab := NewSRSMT(64, 2) // pcs 0, 64, 128, ... collide in set 0
+	e0 := tab.Init(tab.AllocCandidate(0), 0, isa.Instr{})
+	e64 := tab.Init(tab.AllocCandidate(64), 64, isa.Instr{})
+	_ = e64
+	// Make e0 non-deallocatable: a replica in flight.
+	e0.Issue = 1
+	tab.Touch(e64) // e0 older but busy; e64 is LRU-newer
+	w := tab.AllocCandidate(128)
+	if w == nil {
+		t.Fatal("should find a deallocatable way (e64)")
+	}
+	if w.PC != 64 {
+		t.Errorf("victim pc = %d, want 64 (e0 is busy)", w.PC)
+	}
+	// Both busy -> no candidate.
+	e64b := tab.Lookup(64)
+	e64b.Decode = 1 // decode != commit -> not deallocatable
+	if tab.AllocCandidate(128) != nil {
+		t.Error("no candidate when all ways busy")
+	}
+}
+
+func TestDeallocatable(t *testing.T) {
+	e := &Entry{Valid: true}
+	if !e.Deallocatable() {
+		t.Error("fresh entry deallocatable")
+	}
+	e.Decode = 1
+	if e.Deallocatable() {
+		t.Error("decode ahead of commit -> busy")
+	}
+	e.Commit = 1
+	if !e.Deallocatable() {
+		t.Error("decode == commit -> deallocatable")
+	}
+	e.Issue = 1
+	if e.Deallocatable() {
+		t.Error("issued replicas -> busy")
+	}
+}
+
+func TestSlot(t *testing.T) {
+	e := &Entry{Replicas: make([]Replica, 4)}
+	for i := range e.Replicas {
+		e.Replicas[i].Abs = i
+	}
+	if r := e.Slot(2); r == nil || r.Abs != 2 {
+		t.Error("slot 2 should resolve")
+	}
+	if e.Slot(-1) != nil {
+		t.Error("negative abs must be nil")
+	}
+	// Slot 1 now holds absolute index 5 (ring reuse).
+	e.Replicas[1].Abs = 5
+	if e.Slot(1) != nil {
+		t.Error("reused slot must not resolve for the old index")
+	}
+	if r := e.Slot(5); r == nil || r.Abs != 5 {
+		t.Error("reused slot should resolve for the new index")
+	}
+	empty := &Entry{}
+	if empty.Slot(0) != nil {
+		t.Error("entry with no replicas has no slots")
+	}
+}
+
+func TestCoversAddr(t *testing.T) {
+	e := &Entry{Valid: true, HasRange: true, RangeLo: 100, RangeHi: 200}
+	if !e.CoversAddr(100) || !e.CoversAddr(150) || !e.CoversAddr(200) {
+		t.Error("range endpoints and interior must be covered")
+	}
+	if e.CoversAddr(99) || e.CoversAddr(201) {
+		t.Error("outside the range must not be covered")
+	}
+	e.HasRange = false
+	if e.CoversAddr(150) {
+		t.Error("no range -> nothing covered")
+	}
+}
+
+func TestOnRecoveryDecodeCopy(t *testing.T) {
+	tab := NewSRSMT(64, 4)
+	e := tab.Init(tab.AllocCandidate(5), 5, isa.Instr{})
+	e.NRegs = 4
+	e.Decode = 3
+	e.Commit = 1
+	tab.OnRecovery(true, nil)
+	if e.Decode != 1 {
+		t.Errorf("decode = %d, want commit value 1 (§2.4.4)", e.Decode)
+	}
+	if e.DAEC != 0 {
+		t.Errorf("DAEC = %d, want 0 (entry was in use)", e.DAEC)
+	}
+}
+
+func TestOnRecoveryDAEC(t *testing.T) {
+	tab := NewSRSMT(64, 4)
+	e := tab.Init(tab.AllocCandidate(5), 5, isa.Instr{})
+	e.NRegs = 4
+
+	tab.OnRecovery(true, nil) // decode==commit -> DAEC=1
+	if e.DAEC != 1 || !e.Valid {
+		t.Fatalf("after 1st recovery DAEC=%d valid=%v", e.DAEC, e.Valid)
+	}
+	var dead []uint64
+	tab.OnRecovery(true, func(d *Entry) { dead = append(dead, d.PC) })
+	if e.Valid {
+		t.Error("DAEC reaching 2 must invalidate the entry")
+	}
+	if len(dead) != 1 || dead[0] != 5 {
+		t.Errorf("dead callback = %v, want [5]", dead)
+	}
+}
+
+func TestOnRecoveryDAECResetWhenUsed(t *testing.T) {
+	tab := NewSRSMT(64, 4)
+	e := tab.Init(tab.AllocCandidate(5), 5, isa.Instr{})
+	e.NRegs = 4
+	tab.OnRecovery(true, nil) // DAEC=1
+	e.Decode = 2              // entry got used again
+	tab.OnRecovery(true, nil) // decode!=commit -> DAEC reset, decode:=commit
+	if e.DAEC != 0 || e.Decode != 0 {
+		t.Errorf("DAEC=%d decode=%d, want 0/0", e.DAEC, e.Decode)
+	}
+	if !e.Valid {
+		t.Error("used entry must survive")
+	}
+}
+
+func TestOnRecoverySkipsIssuing(t *testing.T) {
+	tab := NewSRSMT(64, 4)
+	e := tab.Init(tab.AllocCandidate(5), 5, isa.Instr{})
+	e.Issue = 1 // a replica is executing; cannot free its register yet
+	tab.OnRecovery(true, nil)
+	tab.OnRecovery(true, nil)
+	tab.OnRecovery(true, nil)
+	if !e.Valid {
+		t.Error("entries with in-flight replicas must not be reclaimed")
+	}
+}
+
+func TestForEachValid(t *testing.T) {
+	tab := NewSRSMT(64, 4)
+	tab.Init(tab.AllocCandidate(1), 1, isa.Instr{})
+	tab.Init(tab.AllocCandidate(2), 2, isa.Instr{})
+	tab.Init(tab.AllocCandidate(3), 3, isa.Instr{})
+	count := 0
+	tab.ForEachValid(func(e *Entry) bool { count++; return true })
+	if count != 3 {
+		t.Errorf("visited %d entries, want 3", count)
+	}
+	count = 0
+	tab.ForEachValid(func(e *Entry) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d, want 1", count)
+	}
+}
+
+func TestSRSMTSizeBytes(t *testing.T) {
+	// §3.1: "The SRSMT occupies 11520 bytes (4 ways * 64 elements per
+	// way * 45 bytes per element)".
+	if got := NewSRSMT(64, 4).SizeBytes(); got != 11520 {
+		t.Errorf("SRSMT size = %d, want 11520", got)
+	}
+}
+
+func TestHardwareCostMatchesPaper(t *testing.T) {
+	c := HardwareCost(DefaultCostConfig())
+	if c.SRSMT != 11520 {
+		t.Errorf("SRSMT = %d, want 11520", c.SRSMT)
+	}
+	if c.Stride != 24576 {
+		t.Errorf("stride = %d, want 24576", c.Stride)
+	}
+	if c.MBS != 2048 {
+		t.Errorf("MBS = %d, want 2048", c.MBS)
+	}
+	if c.NRBQ != 128 {
+		t.Errorf("NRBQ = %d, want 128", c.NRBQ)
+	}
+	if c.CRP != 16 {
+		t.Errorf("CRP = %d, want 16", c.CRP)
+	}
+	if c.RenameExt != 1024 {
+		t.Errorf("rename ext = %d, want 1024", c.RenameExt)
+	}
+	// "a total of 39 Kbytes of extra storage"
+	if kb := float64(c.Total()) / 1024; kb < 38 || kb > 39.5 {
+		t.Errorf("total = %.2f KB, want ≈39 KB", kb)
+	}
+}
+
+func TestCostString(t *testing.T) {
+	s := HardwareCost(DefaultCostConfig()).String()
+	if len(s) == 0 {
+		t.Error("cost string empty")
+	}
+}

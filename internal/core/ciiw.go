@@ -1,0 +1,89 @@
+package core
+
+import "civect/internal/ci"
+
+// captureIW implements the squash-reuse restriction of the mechanism
+// (Figure 10's ci-iw): at a hard-branch misprediction, the completed
+// control-independent instructions already inside the instruction
+// window — on the wrong path, past the re-convergent point, with
+// sources untouched by the control-dependent region — have their
+// results harvested before the squash. When the correct path refetches
+// the same PCs with the same dynamic operand producers, the result is
+// reused instead of re-executed.
+func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
+	clear(p.iwTable)
+	clear(p.iwRemap)
+	// chain maps a wrong-path physical destination to the value its
+	// instruction has produced or will produce: instructions kept in
+	// the window complete regardless of the squash, so a waiting ALU
+	// instruction whose operands are (transitively) available is as
+	// good as a finished one.
+	chain := make(map[int]uint64)
+	reached := false
+	i := p.robIndexAfter(branchIdx)
+	for i != p.robTail {
+		e := &p.rob[i]
+		i = p.robIndexAfter(i)
+		if !e.valid {
+			continue
+		}
+		if e.pc == reconv {
+			reached = true
+		}
+		if !e.hasDest {
+			continue
+		}
+
+		// Resolve the instruction's value: already produced, or
+		// computable from resolved operands (ALU only — loads need the
+		// memory system).
+		value := e.value
+		resolved := e.state == stDone || e.state == stExecuting
+		if resolved {
+			chain[e.physDest] = value
+		} else if e.state == stWaiting && !e.in.IsMem() && !e.in.IsControl() {
+			var vals [2]uint64
+			ok := true
+			for s := 0; s < e.nsrc; s++ {
+				ph := e.srcPhys[s]
+				switch {
+				case p.rf.Ready(ph):
+					vals[s] = p.rf.Value(ph)
+				default:
+					v, hit := chain[ph]
+					if !hit {
+						ok = false
+						break
+					}
+					vals[s] = v
+				}
+			}
+			if !ok {
+				continue
+			}
+			value = execALU(e.in, vals[0], vals[1])
+			chain[e.physDest] = value
+			resolved = true
+		}
+		if !resolved || !reached {
+			continue
+		}
+
+		srcs := e.in.SrcRegs(p.srcScratch[:0])
+		p.srcScratch = srcs[:0]
+		indep := true
+		for _, r := range srcs {
+			if mask.Has(r) {
+				indep = false
+				break
+			}
+		}
+		if !indep {
+			continue
+		}
+		rec := iwReuse{pc: e.pc, seq: e.seq, nsrc: e.nsrc, value: value}
+		rec.writerSeq = e.srcWriterSeq
+		p.iwTable[e.pc] = append(p.iwTable[e.pc], rec)
+		p.Stats.IWCaptured++
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import "civect/internal/isa"
+
+// execALU computes the result of a register-writing, non-memory
+// instruction from its operand values. It is the single functional
+// definition shared by scalar issue, replica execution and the
+// commit-time architectural check, so the three can never diverge.
+func execALU(in isa.Instr, a, b uint64) uint64 {
+	switch in.Op {
+	case isa.OpMovI:
+		return uint64(in.Imm)
+	case isa.OpMov:
+		return a
+	case isa.OpAdd:
+		return a + b
+	case isa.OpAddI:
+		return a + uint64(in.Imm)
+	case isa.OpSub:
+		return a - b
+	case isa.OpSubI:
+		return a - uint64(in.Imm)
+	case isa.OpMul:
+		return a * b
+	case isa.OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpShlI:
+		return a << (uint64(in.Imm) & 63)
+	case isa.OpShrI:
+		return a >> (uint64(in.Imm) & 63)
+	case isa.OpSLT:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case isa.OpSLTI:
+		if int64(a) < in.Imm {
+			return 1
+		}
+		return 0
+	case isa.OpSEQ:
+		if a == b {
+			return 1
+		}
+		return 0
+	case isa.OpSEQI:
+		if a == uint64(in.Imm) {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// opLatency returns the functional-unit class and latency for a
+// non-memory instruction (Table 1: simple int 1 cycle; int mult 2; int
+// div 12).
+func (p *Proc) opLatency(op isa.Op) (useMulDiv bool, lat int) {
+	switch op {
+	case isa.OpMul:
+		return true, p.cfg.LatIntMul
+	case isa.OpDiv:
+		return true, p.cfg.LatIntDiv
+	default:
+		return false, p.cfg.LatIntALU
+	}
+}
+
+// archResult recomputes an instruction's architectural effect from the
+// committed register file and memory. Called when the instruction is at
+// the ROB head, where all older instructions have committed, so the
+// result is exact. For stores it returns the address and stored value.
+func (p *Proc) archResult(in isa.Instr) (value uint64, addr uint64) {
+	a := p.arf[in.Ra]
+	b := p.arf[in.Rb]
+	switch {
+	case in.IsLoad():
+		addr = a + uint64(in.Imm)
+		return p.mem.Read64(addr), addr
+	case in.IsStore():
+		addr = a + uint64(in.Imm)
+		return b, addr
+	case in.IsCondBranch():
+		taken := (in.Op == isa.OpBEQZ && a == 0) || (in.Op == isa.OpBNEZ && a != 0)
+		if taken {
+			return 1, 0
+		}
+		return 0, 0
+	default:
+		return execALU(in, a, b), 0
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "civect/internal/isa"
+
+// instBytes scales instruction indices to byte addresses for the
+// I-cache (4-byte instructions: a 64-byte line holds 16 instructions).
+const instBytes = 4
+
+// fetchStage fetches up to FetchWidth instructions per cycle along the
+// predicted path, stopping at the first taken control transfer (Table
+// 1: "up to 1 taken branch"). I-cache misses stall fetch for the miss
+// latency. Wrong paths are followed for real; recovery redirects
+// fetchPC and clears the buffer.
+func (p *Proc) fetchStage() {
+	if p.fetchHalted || p.cycle < p.fetchStallUntil {
+		return
+	}
+	if len(p.fetchQ) >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
+		return
+	}
+	lat := p.hier.FetchAccess(uint64(p.fetchPC) * instBytes)
+	if lat > 1 {
+		p.fetchStallUntil = p.cycle + uint64(lat)
+		return
+	}
+	readyAt := p.cycle + uint64(p.cfg.FrontEndDepth)
+	for n := 0; n < p.cfg.FetchWidth; n++ {
+		in := p.prog.At(p.fetchPC)
+		f := fetchedInstr{pc: p.fetchPC, in: in, histSnapshot: p.bp.HistorySnapshot(), readyAt: readyAt}
+		switch {
+		case in.IsCondBranch():
+			f.predTaken = p.bp.Predict(uint64(f.pc))
+			p.bp.SpeculativeShift(f.predTaken)
+			p.fetchQ = append(p.fetchQ, f)
+			if f.predTaken {
+				p.fetchPC = in.Target
+				return // one taken branch per cycle
+			}
+			p.fetchPC++
+		case in.IsJump():
+			f.predTaken = true
+			p.fetchQ = append(p.fetchQ, f)
+			p.fetchPC = in.Target
+			return
+		case in.Op == isa.OpHalt:
+			p.fetchQ = append(p.fetchQ, f)
+			p.fetchHalted = true
+			return
+		default:
+			p.fetchQ = append(p.fetchQ, f)
+			p.fetchPC++
+		}
+		if len(p.fetchQ) >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
+			return
+		}
+	}
+}

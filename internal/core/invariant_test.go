@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"civect/internal/ci"
+	"civect/internal/workload"
+)
+
+// entAlias keeps the resource-walk callbacks below readable.
+type entAlias = ci.Entry
+
+func TestRegisterAccountingAfterRun(t *testing.T) {
+	// With the speculative data memory, replica storage never touches
+	// the register file, so occupancy after a run must be exactly the
+	// 64 architectural registers plus the in-flight remnant (the halted
+	// head and any uncommitted tail the budget cut off).
+	b := workload.MustGenerate(workload.Params{
+		Name: "acct", ArrayWords: 1 << 8, Iters: 400, TakenBias: 0.5,
+		Hammocks: 1, CIOps: 3, FillerOps: 2, Streams: 2, StoreEvery: 1, Seed: 21,
+	})
+	cfg := DefaultConfig(ModeCI)
+	cfg.SpecMemSize = 256
+	p, err := New(cfg, b.Program, b.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	inflight := 0
+	i := p.robHead
+	for c := 0; c < p.robCount; c++ {
+		if p.rob[i].valid && p.rob[i].physDest >= 0 {
+			inflight++
+		}
+		i = p.robIndexAfter(i)
+	}
+	want := 64 + inflight
+	if got := p.rf.InUse(); got != want {
+		t.Errorf("registers in use after halt = %d, want %d (64 arch + %d in-flight)",
+			got, want, inflight)
+	}
+}
+
+func TestSpecMemAccountingAfterRun(t *testing.T) {
+	b := workload.MustGenerate(workload.Params{
+		Name: "smacct", ArrayWords: 1 << 8, Iters: 400, TakenBias: 0.5,
+		Hammocks: 1, CIOps: 3, FillerOps: 2, Streams: 2, StoreEvery: 0, Seed: 22,
+	})
+	cfg := DefaultConfig(ModeCI)
+	cfg.SpecMemSize = 256
+	p, err := New(cfg, b.Program, b.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Every live speculative-memory position must belong to a live
+	// replica slot of a valid entry.
+	owned := 0
+	p.srsmt.ForEachValid(func(ent *entAlias) bool {
+		for i := range ent.Replicas {
+			if ent.Replicas[i].Abs >= 0 && ent.Replicas[i].Dest >= 0 {
+				owned++
+			}
+		}
+		return true
+	})
+	if got := p.sm.InUse(); got != owned {
+		t.Errorf("spec positions in use = %d, but entries own %d", got, owned)
+	}
+}
+
+// Property: across random programs the CI machine never leaks
+// registers: occupancy at halt is bounded by architectural state plus
+// window plus replica storage.
+func TestNoRegisterLeakProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		b := workload.Random(seed % 1000)
+		cfg := DefaultConfig(ModeCI)
+		p, err := New(cfg, b.Program, b.NewMem())
+		if err != nil {
+			return false
+		}
+		if _, err := p.Run(); err != nil {
+			return false
+		}
+		replicaOwned := 0
+		p.srsmt.ForEachValid(func(ent *entAlias) bool {
+			for i := range ent.Replicas {
+				if ent.Replicas[i].Abs >= 0 && ent.Replicas[i].Dest >= 0 {
+					replicaOwned++
+				}
+			}
+			return true
+		})
+		inflight := 0
+		i := p.robHead
+		for c := 0; c < p.robCount; c++ {
+			if p.rob[i].valid && p.rob[i].physDest >= 0 {
+				inflight++
+			}
+			i = p.robIndexAfter(i)
+		}
+		return p.rf.InUse() == 64+inflight+replicaOwned
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpisodeCountsConsistent(t *testing.T) {
+	b, err := workload.SpecWithIters("parser", 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(DefaultConfig(ModeCI), b.Program, b.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EpisodesReused > st.EpisodesSelected {
+		t.Errorf("reused episodes (%d) cannot exceed selected (%d)",
+			st.EpisodesReused, st.EpisodesSelected)
+	}
+	if st.EpisodesSelected > st.HardMispredicts {
+		t.Errorf("selected episodes (%d) cannot exceed hard mispredicts (%d)",
+			st.EpisodesSelected, st.HardMispredicts)
+	}
+	if st.HardMispredicts > st.Mispredicts {
+		t.Errorf("hard mispredicts (%d) cannot exceed mispredicts (%d)",
+			st.HardMispredicts, st.Mispredicts)
+	}
+}
+
+func TestFetchedCoversCommittedAndSquashed(t *testing.T) {
+	b, err := workload.SpecWithIters("gzip", 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range allModes {
+		p, err := New(DefaultConfig(m), b.Program, b.NewMem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Renamed instructions either commit, get squashed, or are
+		// still in flight at halt (at most a window's worth).
+		slack := uint64(DefaultConfig(m).WindowSize)
+		if st.Fetched > st.Committed+st.SquashedBP+slack {
+			t.Errorf("%v: fetched %d > committed %d + squashed %d + window",
+				m, st.Fetched, st.Committed, st.SquashedBP)
+		}
+		if st.Fetched < st.Committed {
+			t.Errorf("%v: fetched %d < committed %d", m, st.Fetched, st.Committed)
+		}
+	}
+}

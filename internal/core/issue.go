@@ -1,0 +1,143 @@
+package core
+
+import "civect/internal/isa"
+
+// issueStage issues up to IssueWidth ready instructions oldest-first
+// from the waiting list, modeling functional-unit capacity, L1D port
+// arbitration and load/store-queue disambiguation ("loads may execute
+// when prior store addresses are known", with store-load forwarding).
+// Values are computed functionally at issue; they become visible at
+// writeback (doneAt).
+func (p *Proc) issueStage() {
+	issued := 0
+	out := p.waitQ[:0]
+	for _, w := range p.waitQ {
+		e := &p.rob[w.idx]
+		if !e.valid || e.seq != w.seq || e.state != stWaiting {
+			continue // squashed, completed or re-routed
+		}
+		if issued < p.cfg.IssueWidth && p.tryIssue(w.idx, e) {
+			issued++
+			p.execQ = append(p.execQ, w)
+			continue
+		}
+		out = append(out, w)
+	}
+	p.waitQ = out
+	p.issueBudget = p.cfg.IssueWidth - issued
+}
+
+func (p *Proc) tryIssue(idx int, e *robEntry) bool {
+	// Operand readiness.
+	for i := 0; i < e.nsrc; i++ {
+		if !p.rf.Ready(e.srcPhys[i]) {
+			return false
+		}
+	}
+	in := e.in
+	a, b := uint64(0), uint64(0)
+	if e.nsrc > 0 {
+		a = p.rf.Value(e.srcPhys[0])
+	}
+	if e.nsrc > 1 {
+		b = p.rf.Value(e.srcPhys[1])
+	}
+
+	switch {
+	case in.IsLoad():
+		return p.tryIssueLoad(idx, e, a)
+	case in.IsStore():
+		// Stores compute address and value at issue (AGU, 1 cycle); the
+		// cache write happens at commit.
+		if p.aluFree <= 0 {
+			return false
+		}
+		p.aluFree--
+		e.addr = a + uint64(in.Imm)
+		e.value = b
+		e.doneAt = p.cycle + uint64(p.cfg.LatIntALU)
+		e.state = stExecuting
+		return true
+	case in.IsCondBranch():
+		if p.aluFree <= 0 {
+			return false
+		}
+		p.aluFree--
+		e.actTaken = (in.Op == isa.OpBEQZ && a == 0) || (in.Op == isa.OpBNEZ && a != 0)
+		if e.actTaken {
+			e.actTarget = in.Target
+		} else {
+			e.actTarget = e.pc + 1
+		}
+		e.mispredicted = e.actTaken != e.predTaken
+		e.doneAt = p.cycle + uint64(p.cfg.LatIntALU)
+		e.state = stExecuting
+		return true
+	default:
+		useMul, lat := p.opLatency(in.Op)
+		if useMul {
+			if p.mulFree <= 0 {
+				return false
+			}
+			p.mulFree--
+		} else {
+			if p.aluFree <= 0 {
+				return false
+			}
+			p.aluFree--
+		}
+		e.value = execALU(in, a, b)
+		e.doneAt = p.cycle + uint64(lat)
+		e.state = stExecuting
+		return true
+	}
+}
+
+// tryIssueLoad resolves memory disambiguation and either forwards from
+// an older store or accesses the data cache.
+func (p *Proc) tryIssueLoad(idx int, e *robEntry, base uint64) bool {
+	addr := base + uint64(e.in.Imm)
+	word := addr &^ 7
+
+	// Walk older LSQ entries: an older store with an unknown address
+	// blocks the load; otherwise the youngest older store to the same
+	// word forwards its value (computed together with the address at
+	// store issue).
+	fwd := false
+	var fwdVal uint64
+	for _, li := range p.lsq {
+		se := &p.rob[li]
+		if se.seq >= e.seq {
+			break
+		}
+		if !se.in.IsStore() {
+			continue
+		}
+		if se.state == stWaiting {
+			return false // address not known yet
+		}
+		if se.addr&^7 == word {
+			fwd = true
+			fwdVal = se.value
+		}
+	}
+
+	if fwd {
+		e.addr = addr
+		e.value = fwdVal
+		e.fwdStore = true
+		e.doneAt = p.cycle + 1
+		e.state = stExecuting
+		return true
+	}
+
+	r := p.hier.DataAccess(addr, false)
+	if !r.OK {
+		return false // no port or MSHR this cycle
+	}
+	e.addr = addr
+	e.value = p.mem.Read64(addr)
+	e.doneAt = p.cycle + uint64(r.Lat)
+	e.state = stExecuting
+	return true
+}

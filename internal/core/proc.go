@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+
+	"civect/internal/bpred"
+	"civect/internal/cache"
+	"civect/internal/ci"
+	"civect/internal/isa"
+	"civect/internal/mem"
+	"civect/internal/regfile"
+	"civect/internal/stride"
+)
+
+// instState tracks a ROB entry through the pipeline.
+type instState uint8
+
+const (
+	stWaiting   instState = iota // dispatched, waiting for operands/resources
+	stExecuting                  // issued, in a functional unit
+	stDone                       // result produced
+	stValidPend                  // SRSMT-validated, waiting for its replica value
+)
+
+// renEntry is one rename-map entry, including the paper's extensions:
+// the stridedPC list (§2.3.2) and the V/S bit plus producer sequence of
+// Figure 7.
+type renEntry struct {
+	phys int
+	// writerSeq is the dynamic sequence number of the last writer
+	// (0 when the value is architectural).
+	writerSeq uint64
+	// writerPC is the static instruction that last wrote the register
+	// (-1 initially); recurrence validation checks that an accumulator
+	// is still fed by its own previous instance.
+	writerPC int
+	// vec marks the last writer as a vectorized (validated) instruction
+	// (the V/S bit); vecPC is its PC (the Seq field); vecGen the SRSMT
+	// generation backing it.
+	vec    bool
+	vecPC  uint64
+	vecGen uint64
+	// stridedPCs lists the confident strided-load PCs in the value's
+	// backward slice (capped at Config.StridedPCsPerEntry). The slice
+	// is treated as immutable once assigned.
+	stridedPCs []uint64
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	valid bool
+	seq   uint64
+	pc    int
+	in    isa.Instr
+	state instState
+
+	hasDest  bool
+	logDest  isa.Reg
+	physDest int
+	oldRen   renEntry
+
+	srcPhys [2]int
+	nsrc    int
+
+	// Branch bookkeeping.
+	predTaken    bool
+	histSnapshot uint64
+	actTaken     bool
+	actTarget    int
+	mispredicted bool
+
+	// Memory bookkeeping (set at execute).
+	addr     uint64
+	value    uint64
+	executed bool // value/addr computed (for stores: ready for commit)
+	fwdStore bool // load forwarded from an older store (no cache access)
+
+	doneAt uint64
+
+	// CI bookkeeping.
+	ciSelected bool   // control independent per the CRP mask
+	ciEpisode  uint64 // episode during which it was selected
+	afterCRP   bool   // fetched after the re-convergent point was reached
+	validated  bool   // reused a precomputed value
+	valEntry   *ci.Entry
+	valGen     uint64
+	valIdx     int
+	valSince   uint64 // cycle validation started (watchdog)
+	reuseIW    bool   // ci-iw squash reuse
+
+	// srcWriterSeq records the dynamic producers of the source operands
+	// at rename time (squash-reuse matching).
+	srcWriterSeq [2]uint64
+
+	// Speculative-memory copy micro-op state (§2.4.6).
+	copySched   bool
+	copyReadyAt uint64
+}
+
+// fetchedInstr sits in the fetch buffer between fetch and rename.
+type fetchedInstr struct {
+	pc           int
+	in           isa.Instr
+	predTaken    bool
+	histSnapshot uint64
+	// readyAt is the cycle the instruction emerges from the front-end
+	// decode stages and may rename.
+	readyAt uint64
+}
+
+// iwReuse is a squash-reuse record (ModeCIIW): the result of a
+// control-independent wrong-path instruction kept across the recovery.
+type iwReuse struct {
+	pc        int
+	seq       uint64 // dynamic seq of the captured wrong-path instance
+	writerSeq [2]uint64
+	nsrc      int
+	value     uint64
+}
+
+// waitRef identifies a ROB entry on one of the scheduler lists; seq
+// detects slot reuse after squashes.
+type waitRef struct {
+	idx int
+	seq uint64
+}
+
+// Proc is the processor. Create one with New, run with Run.
+type Proc struct {
+	cfg  Config
+	prog *isa.Program
+	mem  *mem.Memory
+
+	// Architectural committed state.
+	arf    [isa.NumLogical]uint64
+	halted bool
+
+	cycle uint64
+	seq   uint64
+
+	ren [isa.NumLogical]renEntry
+	rf  *regfile.File
+	sm  *regfile.SpecMem
+
+	rob      []robEntry
+	robHead  int
+	robTail  int
+	robCount int
+
+	// lsq holds ROB indices of in-flight memory instructions in program
+	// order.
+	lsq []int
+
+	fetchPC         int
+	fetchHalted     bool
+	fetchStallUntil uint64
+	fetchQ          []fetchedInstr
+
+	hier *cache.Hierarchy
+	bp   *bpred.Gshare
+	mbs  *bpred.MBS
+	sp   *stride.Predictor
+
+	nrbq  *ci.NRBQ
+	crp   ci.CRP
+	srsmt *ci.SRSMT
+	// activeEntries lists SRSMT entries with replica work pending.
+	activeEntries []*ci.Entry
+	// seedWatch lists entries whose recurrence seed register has not
+	// produced yet; commit- and squash-time register frees consult it.
+	seedWatch []*ci.Entry
+
+	// Episode statistics (Figure 5).
+	episodeOpen     bool
+	episodeSelected bool
+	episodeReused   bool
+
+	// ci-iw squash-reuse table (per PC, in wrong-path capture order, so
+	// several loop iterations can be reused), plus the remap from
+	// captured wrong-path producer seqs to their reused correct-path
+	// reincarnations (so dependence chains of reused instructions
+	// cascade).
+	iwTable map[int][]iwReuse
+	iwRemap map[uint64]uint64
+
+	// Scheduler lists: dispatched-not-issued, executing, and
+	// validation-pending ROB entries.
+	waitQ     []waitRef
+	execQ     []waitRef
+	validPend []waitRef
+
+	// Per-cycle budgets.
+	aluFree, mulFree int
+	issueBudget      int
+
+	// Scratch buffers reused across cycles.
+	srcScratch  []isa.Reg
+	freedRegs   map[int]struct{}
+	pcScratch   []uint64
+	lsqFiltered []int
+
+	Stats Stats
+}
+
+// New builds a processor over prog and data memory m (which it owns and
+// mutates at commit). The configuration is validated.
+func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		m = mem.New()
+	}
+	hcfg := cfg.Hier
+	hcfg.DL1Ports = cfg.DL1Ports
+	hcfg.WideBus = cfg.Mode.UsesWideBus()
+
+	p := &Proc{
+		cfg:  cfg,
+		prog: prog,
+		mem:  m,
+		rf:   regfile.NewFile(cfg.PhysRegs),
+		rob:  make([]robEntry, cfg.WindowSize),
+		hier: cache.NewHierarchy(hcfg),
+		bp:   bpred.NewGshare(cfg.GshareEntries),
+		mbs:  bpred.NewMBS(cfg.MBSSets, cfg.MBSAssoc),
+		sp:   stride.New(cfg.StrideSets, cfg.StrideAssoc),
+	}
+	if cfg.Mode == ModeCI || cfg.Mode == ModeCIIW {
+		p.nrbq = ci.NewNRBQ(cfg.NRBQEntries)
+	}
+	if cfg.Mode.Vectorizes() {
+		p.srsmt = ci.NewSRSMT(cfg.SRSMTSets, cfg.SRSMTAssoc)
+	}
+	if cfg.Mode == ModeCIIW {
+		p.iwTable = make(map[int][]iwReuse)
+		p.iwRemap = make(map[uint64]uint64)
+	}
+	p.freedRegs = make(map[int]struct{})
+	if cfg.SpecMemSize > 0 && cfg.Mode.Vectorizes() {
+		p.sm = regfile.NewSpecMem(cfg.SpecMemSize, cfg.SpecMemLat)
+	}
+	// Bind each logical register to a committed physical register.
+	for r := 0; r < isa.NumLogical; r++ {
+		phys, ok := p.rf.Alloc()
+		if !ok {
+			return nil, fmt.Errorf("core: register file too small for architectural state")
+		}
+		p.rf.Write(phys, 0)
+		p.ren[r] = renEntry{phys: phys, writerPC: -1}
+	}
+	return p, nil
+}
+
+// Run simulates until the program halts, the committed-instruction
+// budget is exhausted, or the cycle safety bound trips. It returns the
+// final statistics.
+func (p *Proc) Run() (*Stats, error) {
+	maxCycles := p.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+	lastCommit := uint64(0)
+	lastCommitCycle := uint64(0)
+	for !p.halted {
+		if p.cfg.MaxInstr > 0 && p.Stats.Committed >= p.cfg.MaxInstr {
+			break
+		}
+		if p.cycle >= maxCycles {
+			return nil, fmt.Errorf("core: cycle bound %d exceeded (committed %d)", maxCycles, p.Stats.Committed)
+		}
+		p.step()
+		// Forward-progress watchdog: a stuck pipeline is a simulator
+		// bug; fail loudly instead of spinning.
+		if p.Stats.Committed != lastCommit {
+			lastCommit = p.Stats.Committed
+			lastCommitCycle = p.cycle
+		} else if p.cycle-lastCommitCycle > 500_000 {
+			return nil, fmt.Errorf("core: no commit progress for 500k cycles at cycle %d (mode %v, head state %v)",
+				p.cycle, p.cfg.Mode, p.headState())
+		}
+	}
+	p.closeEpisode()
+	p.finalizeStats()
+	return &p.Stats, nil
+}
+
+func (p *Proc) headState() string {
+	if p.robCount == 0 {
+		return "empty ROB"
+	}
+	h := &p.rob[p.robHead]
+	return fmt.Sprintf("pc=%d op=%v state=%d validated=%v", h.pc, h.in.Op, h.state, h.validated)
+}
+
+// step advances one cycle, processing stages in reverse pipeline order
+// so that each stage sees the previous cycle's outputs.
+func (p *Proc) step() {
+	p.cycle++
+	p.hier.BeginCycle(p.cycle)
+	if p.sm != nil {
+		p.sm.BeginCycle()
+	}
+	p.aluFree = p.cfg.IntALUs
+	p.mulFree = p.cfg.IntMulDivs
+	p.rf.Sample()
+
+	p.commitStage()
+	if p.halted {
+		return
+	}
+	p.completeStage()
+	p.advanceValidated()
+	p.issueStage()
+	p.replicaTick()
+	p.renameStage()
+	p.fetchStage()
+}
+
+func (p *Proc) finalizeStats() {
+	p.Stats.Cycles = p.cycle
+	p.Stats.RegAvgInUse = p.rf.AvgInUse()
+	p.Stats.RegPeak = p.rf.Peak()
+	p.Stats.L1I = p.hier.L1I.Stats
+	p.Stats.L1D = p.hier.L1D.Stats
+	p.Stats.L2 = p.hier.L2.Stats
+	p.Stats.L3 = p.hier.L3.Stats
+}
+
+// ARF returns the committed architectural register values.
+func (p *Proc) ARF() [isa.NumLogical]uint64 { return p.arf }
+
+// Mem returns the architectural data memory.
+func (p *Proc) Mem() *mem.Memory { return p.mem }
+
+// robIndexAfter returns the ring index following i.
+func (p *Proc) robIndexAfter(i int) int {
+	i++
+	if i == len(p.rob) {
+		return 0
+	}
+	return i
+}
+
+// robIndexBefore returns the ring index preceding i.
+func (p *Proc) robIndexBefore(i int) int {
+	if i == 0 {
+		return len(p.rob) - 1
+	}
+	return i - 1
+}
+
+// robAlloc appends a ROB entry at the tail, returning its index.
+func (p *Proc) robAlloc() int {
+	i := p.robTail
+	p.robTail = p.robIndexAfter(p.robTail)
+	p.robCount++
+	p.rob[i] = robEntry{valid: true}
+	return i
+}
+
+// lsqRemove deletes a ROB index from the LSQ.
+func (p *Proc) lsqRemove(robIdx int) {
+	for i, v := range p.lsq {
+		if v == robIdx {
+			p.lsq = append(p.lsq[:i], p.lsq[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *Proc) closeEpisode() {
+	if !p.episodeOpen {
+		return
+	}
+	if p.episodeSelected {
+		p.Stats.EpisodesSelected++
+	}
+	if p.episodeReused {
+		p.Stats.EpisodesReused++
+	}
+	p.episodeOpen = false
+	p.episodeSelected = false
+	p.episodeReused = false
+}
+
+func (p *Proc) openEpisode() {
+	p.closeEpisode()
+	p.episodeOpen = true
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"civect/internal/ci"
+	"civect/internal/isa"
+)
+
+// renameStage decodes, renames and dispatches up to DecodeWidth
+// instructions from the fetch buffer. This is where the paper's
+// mechanism engages: CRP mask tracking and control-independence
+// selection (§2.3.2), stridedPC propagation through the rename map,
+// SRSMT validation of previously vectorized instructions (§2.3.4),
+// squash-reuse matching (ci-iw), and the vectorization triggers
+// (§2.3.3).
+func (p *Proc) renameStage() {
+	for n := 0; n < p.cfg.DecodeWidth && len(p.fetchQ) > 0; n++ {
+		if p.fetchQ[0].readyAt > p.cycle {
+			return // still in the decode stages
+		}
+		if !p.tryRename(&p.fetchQ[0]) {
+			return
+		}
+		p.fetchQ = p.fetchQ[:copy(p.fetchQ, p.fetchQ[1:])]
+	}
+}
+
+func (p *Proc) tryRename(f *fetchedInstr) bool {
+	in := f.in
+
+	// Structural hazards: window, LSQ, rename register.
+	if p.robCount >= len(p.rob) {
+		return false
+	}
+	if in.IsMem() && len(p.lsq) >= p.cfg.LSQSize {
+		return false
+	}
+	dest, hasDest := in.WritesReg()
+	if hasDest {
+		need := 1
+		if p.cfg.Mode.Vectorizes() {
+			need += p.cfg.RenameRegHeadroom
+		}
+		if p.rf.FreeCount() < need {
+			// With an empty window nothing will ever commit to free a
+			// register: replica storage has strangled the pipeline.
+			// Reclaim idle entries rather than deadlocking. (With a
+			// non-empty window, commits release registers naturally.)
+			if p.robCount == 0 {
+				p.reclaimIdleEntries()
+			}
+			return false
+		}
+	}
+
+	p.seq++
+	idx := p.robAlloc()
+	e := &p.rob[idx]
+	e.seq = p.seq
+	e.pc = f.pc
+	e.in = in
+	e.state = stWaiting
+	e.physDest = -1
+	e.predTaken = f.predTaken
+	e.histSnapshot = f.histSnapshot
+	e.hasDest = hasDest
+	e.logDest = dest
+	p.Stats.Fetched++
+
+	srcs := in.SrcRegs(p.srcScratch[:0])
+	p.srcScratch = srcs[:0]
+	e.nsrc = len(srcs)
+	var srcSnap [2]renEntry
+	for i, r := range srcs {
+		srcSnap[i] = p.ren[r]
+		e.srcPhys[i] = p.ren[r].phys
+		e.srcWriterSeq[i] = p.ren[r].writerSeq
+	}
+
+	// CRP tracking and control-independence selection (ModeCI/ModeCIIW).
+	if p.nrbq != nil {
+		p.crp.NoteFetch(f.pc, dest, hasDest)
+		e.afterCRP = p.crp.Valid && p.crp.Reached
+		if e.afterCRP && p.crp.Independent(srcs) {
+			e.ciSelected = true
+			e.ciEpisode = p.crp.Episode
+			p.Stats.CISelected++
+			p.episodeSelected = true
+			if p.cfg.Mode == ModeCI {
+				// Select the strided loads in the backward slice for
+				// speculative vectorization (set the S flag, §2.3.2).
+				for _, r := range srcs {
+					for _, lpc := range p.ren[r].stridedPCs {
+						if se := p.sp.Lookup(lpc); se != nil {
+							se.S = true
+						}
+					}
+				}
+			}
+		}
+		// The control-independent region runs from the re-convergent
+		// point to the next conditional branch (Figure 1 boxes I11-I14);
+		// selection stops there.
+		if e.afterCRP && in.IsCondBranch() {
+			p.crp.Deactivate()
+		}
+		// NRBQ maintenance: branches open a new write-mask region;
+		// destinations accumulate into the newest region.
+		if in.IsCondBranch() {
+			p.nrbq.PushBranch(e.seq, uint64(f.pc), ci.EstimateReconvergence(p.prog, f.pc))
+		} else if hasDest {
+			p.nrbq.NoteDest(dest)
+		}
+	}
+
+	// Squash reuse (ModeCIIW): a control-independent wrong-path result
+	// kept across the last recovery can be reused if the operands still
+	// come from the same dynamic producers.
+	if p.iwTable != nil && hasDest && len(p.iwTable) > 0 {
+		if recs, ok := p.iwTable[f.pc]; ok && len(recs) > 0 && recs[0].nsrc == e.nsrc {
+			r := recs[0]
+			match := true
+			for i := 0; i < e.nsrc; i++ {
+				if e.srcWriterSeq[i] == r.writerSeq[i] {
+					continue
+				}
+				// The recorded producer may itself have been reused:
+				// its correct-path reincarnation produced the same
+				// value, so the chain remains valid.
+				if remapped, ok := p.iwRemap[r.writerSeq[i]]; ok && remapped == e.srcWriterSeq[i] {
+					continue
+				}
+				match = false
+				break
+			}
+			if match {
+				if len(recs) == 1 {
+					delete(p.iwTable, f.pc)
+				} else {
+					p.iwTable[f.pc] = recs[1:]
+				}
+				p.iwRemap[r.seq] = e.seq
+				e.reuseIW = true
+				e.value = r.value
+				p.episodeReused = true
+			}
+		}
+	}
+
+	// SRSMT validation (ModeCI/ModeVect, §2.3.4).
+	if p.srsmt != nil && !e.reuseIW && hasDest && !in.IsControl() {
+		if ent := p.srsmt.Lookup(uint64(f.pc)); ent != nil {
+			switch p.tryValidate(e, ent, srcSnap[:e.nsrc]) {
+			case valOK:
+				if e.ciSelected {
+					p.episodeReused = true
+				}
+			case valFail:
+				p.Stats.ValidationFails++
+				if debugTrace {
+					fmt.Fprintf(os.Stderr, "[%d] teardown pc=%d\n", p.cycle, f.pc)
+				}
+				p.releaseEntryStorage(ent)
+				p.srsmt.Invalidate(ent)
+			case valNoReplica:
+				// Batch exhausted: execute normally, keep the entry.
+			}
+		}
+	}
+
+	// Rename the destination.
+	if hasDest {
+		phys, ok := p.rf.Alloc()
+		if !ok {
+			// FreeCount was checked above; this cannot happen.
+			panic("core: rename register vanished")
+		}
+		e.physDest = phys
+		e.oldRen = p.ren[dest]
+		nre := renEntry{phys: phys, writerSeq: e.seq, writerPC: f.pc}
+		if e.validated {
+			// Figure 7: validated instances set the V/S bit and the Seq
+			// field so dependents can vectorize and validate.
+			nre.vec = true
+			nre.vecPC = uint64(f.pc)
+			nre.vecGen = e.valGen
+		}
+		nre.stridedPCs = p.propagateStridedPCs(f.pc, in, srcs, srcSnap[:e.nsrc])
+		p.ren[dest] = nre
+	}
+
+	// Vectorization trigger for dependents (§2.3.3). Loads are
+	// vectorized at commit, where their architectural address anchors
+	// the replica sequence exactly (see maybeVectorizeLoad).
+	if p.srsmt != nil && !e.validated && !e.reuseIW && !in.IsLoad() &&
+		hasDest && !in.IsControl() {
+		p.maybeVectorizeArith(f.pc, in, srcSnap[:e.nsrc], e.physDest, e.seq)
+	}
+
+	// Dispatch.
+	ref := waitRef{idx: idx, seq: e.seq}
+	switch {
+	case e.reuseIW:
+		e.state = stDone
+		e.executed = true
+		p.rf.Write(e.physDest, e.value)
+	case e.validated:
+		e.state = stValidPend
+		e.valSince = p.cycle
+		p.validPend = append(p.validPend, ref)
+	case in.Op == isa.OpNop || in.Op == isa.OpHalt || in.IsJump():
+		// Nothing to execute: jumps are resolved at fetch (direct
+		// targets), nop and halt produce nothing.
+		e.state = stDone
+		e.executed = true
+	default:
+		if in.IsMem() {
+			p.lsq = append(p.lsq, idx)
+		}
+		p.waitQ = append(p.waitQ, ref)
+	}
+	return true
+}
+
+// propagateStridedPCs computes the stridedPC list for a newly renamed
+// destination (§2.3.2): loads with a confident stride predictor entry
+// start a list with their own PC; arithmetic instructions propagate the
+// union of their sources' lists, capped at StridedPCsPerEntry.
+func (p *Proc) propagateStridedPCs(pc int, in isa.Instr, srcs []isa.Reg, snap []renEntry) []uint64 {
+	if in.IsLoad() {
+		if se := p.sp.Lookup(uint64(pc)); se != nil && se.Confident() && se.Stride != 0 {
+			p.Stats.StridedPCsSum++
+			p.Stats.StridedPCsCount++
+			return []uint64{uint64(pc)}
+		}
+		return nil
+	}
+	u := p.pcScratch[:0]
+	for i := range srcs {
+		for _, lpc := range snap[i].stridedPCs {
+			dup := false
+			for _, have := range u {
+				if have == lpc {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				u = append(u, lpc)
+			}
+		}
+	}
+	p.pcScratch = u[:0]
+	if len(u) == 0 {
+		return nil
+	}
+	p.Stats.StridedPCsSum += uint64(len(u))
+	p.Stats.StridedPCsCount++
+	if len(u) > p.cfg.StridedPCsPerEntry {
+		u = u[:p.cfg.StridedPCsPerEntry]
+	}
+	out := make([]uint64, len(u))
+	copy(out, u)
+	return out
+}

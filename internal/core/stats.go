@@ -1,0 +1,131 @@
+package core
+
+import "civect/internal/cache"
+
+// Stats aggregates everything the paper's figures report.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	// CommittedReuse counts committed instructions that reused a
+	// precomputed replica (validated) or a squash-reuse value (ci-iw):
+	// Figure 12's "Reuse" category.
+	CommittedReuse uint64
+	// Fetched counts instructions entering the pipeline (renamed).
+	Fetched uint64
+	// SquashedBP counts fetched-and-renamed instructions discarded by a
+	// branch recovery: Figure 12's "specBP".
+	SquashedBP uint64
+	// ReplicasDispatched counts speculative replica instances created by
+	// the mechanism: Figure 12's "specCI".
+	ReplicasDispatched uint64
+
+	// Branch behaviour.
+	Branches     uint64
+	CondBranches uint64
+	Mispredicts  uint64
+	// HardMispredicts counts mispredictions of MBS-hard branches (the
+	// CI episodes).
+	HardMispredicts uint64
+	// EpisodesSelected counts episodes with ≥1 control-independent
+	// instruction selected (Figure 5 gray+black).
+	EpisodesSelected uint64
+	// EpisodesReused counts episodes in which ≥1 control-independent
+	// instruction was validated against a precomputed replica
+	// (Figure 5 black).
+	EpisodesReused uint64
+
+	Loads  uint64
+	Stores uint64
+	// StoreConflicts counts committed stores whose address fell inside
+	// a replica range (§2.4.3).
+	StoreConflicts uint64
+	// CoherenceSquashes counts the pipeline squashes those conflicts
+	// caused.
+	CoherenceSquashes uint64
+
+	// VectorizedEntries counts SRSMT allocations.
+	VectorizedEntries uint64
+	// ValidationFails counts SRSMT validation mismatches at decode.
+	ValidationFails uint64
+	// Validation-failure breakdown (diagnosis of mechanism churn).
+	ValFailStride uint64 // load: stride predictor disagreed
+	ValFailVec    uint64 // vec operand: producer no longer validated
+	ValFailSelf   uint64 // recurrence: register written by another PC
+	ValFailScalar uint64 // scalar operand value changed / not ready
+	ValFailSlot   uint64 // consumed replica had failed
+	ValFailAddr   uint64 // load address check mismatch
+	ReplayLoad    uint64 // commit-check replays on loads
+	ReplayArith   uint64 // commit-check replays on ALU results
+	// IWCaptured counts wrong-path results harvested by squash reuse
+	// (ModeCIIW); CommittedReuse counts how many were actually reused.
+	IWCaptured uint64
+	// ValNoReplica counts validation attempts that found no issued
+	// replica (instruction executed normally, entry kept).
+	ValNoReplica uint64
+	// Replays counts validated values rejected by the commit-time
+	// architectural check (converted into replays).
+	Replays uint64
+	// CISelected counts control-independent instructions selected after
+	// re-convergent points.
+	CISelected uint64
+
+	// StridedPCsSum/Count measure how many distinct strided-load PCs
+	// instructions carry in their backward slices (the §2.3.2 "1.7 PCs
+	// per entry on average" statistic).
+	StridedPCsSum   uint64
+	StridedPCsCount uint64
+
+	// Register pressure (§2.4.2).
+	RegAvgInUse float64
+	RegPeak     int
+
+	// Cache statistics snapshots.
+	L1I, L1D, L2, L3 cache.Stats
+
+	// SpecMemCopies counts copy micro-ops through the speculative data
+	// memory's read ports (§2.4.6).
+	SpecMemCopies uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per conditional branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// ReuseFraction returns the fraction of committed instructions that
+// reused precomputed values (Figure 12's headline percentages).
+func (s *Stats) ReuseFraction() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.CommittedReuse) / float64(s.Committed)
+}
+
+// AvgStridedPCs returns the mean number of distinct strided-load PCs
+// per written rename entry.
+func (s *Stats) AvgStridedPCs() float64 {
+	if s.StridedPCsCount == 0 {
+		return 0
+	}
+	return float64(s.StridedPCsSum) / float64(s.StridedPCsCount)
+}
+
+// StoreConflictRate returns the fraction of committed stores that hit a
+// replica address range (§2.4.3: "less than 3%").
+func (s *Stats) StoreConflictRate() float64 {
+	if s.Stores == 0 {
+		return 0
+	}
+	return float64(s.StoreConflicts) / float64(s.Stores)
+}

@@ -1,0 +1,426 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"civect/internal/ci"
+	"civect/internal/core"
+)
+
+// regSweep is the paper's register-file axis; 0 denotes the unbounded
+// file ("Inf").
+var regSweep = []int{128, 256, 512, 768, 0}
+
+func regLabel(r int) string {
+	if r == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%d regs", r)
+}
+
+// Experiment regenerates one table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(h *Harness) (*Table, error)
+}
+
+// Experiments returns the registry in presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"cost", "§3.1 hardware storage cost", expCost},
+		{"fig4", "Figure 4: IPC vs. propagated stridedPCs per rename entry", expFig4},
+		{"fig5", "Figure 5: mispredicted branches with CI selected / reused", expFig5},
+		{"fig8", "Figure 8: L1 data cache accesses", expFig8},
+		{"fig9", "Figure 9: IPC vs. L1 ports and registers", expFig9},
+		{"fig10", "Figure 10: squash reuse (ci-iw) vs. full mechanism", expFig10},
+		{"fig11", "Figure 11: IPC vs. replicas per vectorized instruction", expFig11},
+		{"fig12", "Figure 12: committed/reuse/wrong-path/replica instruction counts", expFig12},
+		{"fig13", "Figure 13: speculative data memory", expFig13},
+		{"fig14", "Figure 14: control independence vs. full dynamic vectorization", expFig14},
+		{"regs", "§2.4.2 register pressure with/without DAEC", expRegs},
+		{"stores", "§2.4.3 store conflicts with replica ranges", expStores},
+		{"ablate", "design-choice ablations: MBS gating, DAEC, replica batch", expAblate},
+	}
+}
+
+// expAblate removes one design choice at a time from the ci machine and
+// reports the harmonic-mean IPC impact, backing DESIGN.md's ablation
+// index.
+func expAblate(h *Harness) (*Table, error) {
+	t := &Table{ID: "ablate", Title: "ablations of the mechanism's design choices (ci, 1 port, 512 regs)",
+		Header: []string{"variant", "hm IPC", "vs baseline"}}
+	base, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 512})
+	if err != nil {
+		return nil, err
+	}
+	hmBase := HarmonicMeanIPC(base)
+	t.AddRow("ci (baseline)", f3(hmBase), "-")
+	variants := []struct {
+		name string
+		spec RunSpec
+	}{
+		{"no MBS gating (all mispredicts activate)", RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 512, NoMBSGate: true}},
+		{"no DAEC reclamation", RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 512, NoDAEC: true}},
+		{"1 replica per instruction", RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 512, Replicas: 1}},
+		{"1 stridedPC per rename entry", RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 512, StridedPCs: 1}},
+	}
+	for _, v := range variants {
+		res, err := h.RunAll(v.spec)
+		if err != nil {
+			return nil, err
+		}
+		hm := HarmonicMeanIPC(res)
+		t.AddRow(v.name, f3(hm), fmt.Sprintf("%+.1f%%", 100*(hm/hmBase-1)))
+	}
+	t.Notes = append(t.Notes,
+		"the paper motivates each piece (§2.3.1 MBS, §2.4.2 DAEC, Figure 11 replicas, Figure 4 stridedPCs)")
+	return t, nil
+}
+
+// ExperimentByID finds an experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func expCost(h *Harness) (*Table, error) {
+	c := ci.HardwareCost(ci.DefaultCostConfig())
+	t := &Table{ID: "cost", Title: "extra storage for the CI mechanism (§3.1)",
+		Header: []string{"structure", "bytes"}}
+	t.AddRow("SRSMT", fmt.Sprint(c.SRSMT))
+	t.AddRow("stride predictor", fmt.Sprint(c.Stride))
+	t.AddRow("MBS", fmt.Sprint(c.MBS))
+	t.AddRow("NRBQ", fmt.Sprint(c.NRBQ))
+	t.AddRow("CRP", fmt.Sprint(c.CRP))
+	t.AddRow("rename extension", fmt.Sprint(c.RenameExt))
+	t.AddRow("total", fmt.Sprintf("%d (%.1f KB)", c.Total(), float64(c.Total())/1024))
+	t.Notes = append(t.Notes, "paper: 11520 + 24576 + 2048 + 128 + 16 + 1024 ≈ 39 KB")
+	return t, nil
+}
+
+func expFig4(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig4", Title: "IPC per benchmark for 1/2/4 stridedPCs per rename entry (ci, 2 wide ports)",
+		Header: []string{"bench", "1PC", "2PC", "4PC", "avgPCs"}}
+	variants := []int{1, 2, 4}
+	results := make([]map[string]*core.Stats, len(variants))
+	for i, n := range variants {
+		r, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 2, Regs: 256, StridedPCs: n})
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	for _, name := range sortedNames(results[0]) {
+		row := []string{name}
+		for i := range variants {
+			row = append(row, f3(results[i][name].IPC()))
+		}
+		row = append(row, f2(results[2][name].AvgStridedPCs()))
+		t.AddRow(row...)
+	}
+	var hms []string
+	for i := range variants {
+		hms = append(hms, f3(HarmonicMeanIPC(results[i])))
+	}
+	t.AddRow("INT(hm)", hms[0], hms[1], hms[2], "")
+	t.Notes = append(t.Notes,
+		"paper: going from 2 to 4 PCs per entry hardly changes IPC; average need is ~1.7 PCs")
+	return t, nil
+}
+
+func expFig5(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig5", Title: "mispredicted branches: ≥1 reuse / selected-no-reuse / not found (ci, 1 port)",
+		Header: []string{"bench", ">=1 reuse", "no reuse", "not found", "mispredicts"}}
+	res, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 256})
+	if err != nil {
+		return nil, err
+	}
+	var sumReuse, sumSel, sumMisp float64
+	for _, name := range sortedNames(res) {
+		st := res[name]
+		m := float64(st.Mispredicts)
+		if m == 0 {
+			t.AddRow(name, "-", "-", "-", "0")
+			continue
+		}
+		reuse := float64(st.EpisodesReused) / m
+		sel := float64(st.EpisodesSelected) / m
+		t.AddRow(name, pct(reuse), pct(sel-reuse), pct(1-sel), u64(st.Mispredicts))
+		sumReuse += reuse
+		sumSel += sel
+		sumMisp++
+	}
+	if sumMisp > 0 {
+		t.AddRow("INT(avg)", pct(sumReuse/sumMisp), pct((sumSel-sumReuse)/sumMisp),
+			pct(1-sumSel/sumMisp), "")
+	}
+	t.Notes = append(t.Notes,
+		"paper: CI instructions selected for ~70% of mispredicted branches; reused for ~49%")
+	return t, nil
+}
+
+func expFig8(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig8", Title: "number of L1 data cache accesses",
+		Header: []string{"bench", "scal1p", "wb1p", "ci1p", "scal2p", "wb2p", "ci2p"}}
+	specs := []RunSpec{
+		{Mode: core.ModeScalar, Ports: 1, Regs: 256},
+		{Mode: core.ModeWideBus, Ports: 1, Regs: 256},
+		{Mode: core.ModeCI, Ports: 1, Regs: 256},
+		{Mode: core.ModeScalar, Ports: 2, Regs: 256},
+		{Mode: core.ModeWideBus, Ports: 2, Regs: 256},
+		{Mode: core.ModeCI, Ports: 2, Regs: 256},
+	}
+	results := make([]map[string]*core.Stats, len(specs))
+	for i, s := range specs {
+		r, err := h.RunAll(s)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	for _, name := range sortedNames(results[0]) {
+		row := []string{name}
+		for i := range specs {
+			row = append(row, u64(results[i][name].L1D.Accesses))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: the wide bus sharply reduces accesses; ci reduces them further despite extra speculative loads")
+	return t, nil
+}
+
+func expFig9(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig9", Title: "harmonic-mean IPC vs. L1 ports and registers (4 replicas)",
+		Header: []string{"config", "scal1p", "wb1p", "ci1p", "scal2p", "wb2p", "ci2p"}}
+	modes := []struct {
+		mode  core.Mode
+		ports int
+	}{
+		{core.ModeScalar, 1}, {core.ModeWideBus, 1}, {core.ModeCI, 1},
+		{core.ModeScalar, 2}, {core.ModeWideBus, 2}, {core.ModeCI, 2},
+	}
+	for _, regs := range regSweep {
+		row := []string{regLabel(regs)}
+		for _, m := range modes {
+			res, err := h.RunAll(RunSpec{Mode: m.mode, Ports: m.ports, Regs: regs})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(HarmonicMeanIPC(res)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: ci gains >17% over wb once ≥512 regs; at 128 regs ci degrades (register pressure); wb > scal at 1 port")
+	return t, nil
+}
+
+func expFig10(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig10", Title: "IPC per benchmark: scal / wb / ci-iw / ci (1 L1D port, 512 regs)",
+		Header: []string{"bench", "scal", "wb", "ci-iw", "ci"}}
+	modes := []core.Mode{core.ModeScalar, core.ModeWideBus, core.ModeCIIW, core.ModeCI}
+	results := make([]map[string]*core.Stats, len(modes))
+	for i, m := range modes {
+		r, err := h.RunAll(RunSpec{Mode: m, Ports: 1, Regs: 512})
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	for _, name := range sortedNames(results[0]) {
+		row := []string{name}
+		for i := range modes {
+			row = append(row, f3(results[i][name].IPC()))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"INT(hm)"}
+	for i := range modes {
+		row = append(row, f3(HarmonicMeanIPC(results[i])))
+	}
+	t.AddRow(row...)
+	t.Notes = append(t.Notes,
+		"paper: in-window reuse (ci-iw) gains 9.1%, the full mechanism 17.8% — pre-execution beyond the window matters")
+	return t, nil
+}
+
+func expFig11(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig11", Title: "harmonic-mean IPC vs. replicas per vectorized instruction (ci, 1 port)",
+		Header: []string{"config", "sc", "wb", "1rep", "2rep", "4rep", "8rep"}}
+	for _, regs := range regSweep {
+		row := []string{regLabel(regs)}
+		for _, m := range []core.Mode{core.ModeScalar, core.ModeWideBus} {
+			res, err := h.RunAll(RunSpec{Mode: m, Ports: 1, Regs: regs})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(HarmonicMeanIPC(res)))
+		}
+		for _, rep := range []int{1, 2, 4, 8} {
+			res, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: regs, Replicas: rep})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(HarmonicMeanIPC(res)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: 2 or 4 replicas are the sweet spot; 1 loses opportunities; 8 helps only with very many registers")
+	return t, nil
+}
+
+func expFig12(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig12", Title: "instruction counts for 2 (left) and 4 (right) replicas (ci, 1 port)",
+		Header: []string{"bench", "noR-2", "reuse-2", "specBP-2", "specCI-2",
+			"noR-4", "reuse-4", "specBP-4", "specCI-4"}}
+	res2, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 512, Replicas: 2})
+	if err != nil {
+		return nil, err
+	}
+	res4, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 512, Replicas: 4})
+	if err != nil {
+		return nil, err
+	}
+	var reuse2, reuse4, committed2, committed4 float64
+	for _, name := range sortedNames(res2) {
+		a, b := res2[name], res4[name]
+		t.AddRow(name,
+			u64(a.Committed-a.CommittedReuse), u64(a.CommittedReuse), u64(a.SquashedBP), u64(a.ReplicasDispatched),
+			u64(b.Committed-b.CommittedReuse), u64(b.CommittedReuse), u64(b.SquashedBP), u64(b.ReplicasDispatched))
+		reuse2 += float64(a.CommittedReuse)
+		reuse4 += float64(b.CommittedReuse)
+		committed2 += float64(a.Committed)
+		committed4 += float64(b.Committed)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("measured reuse fraction: %.1f%% (2 rep) vs %.1f%% (4 rep); paper: 12.3%% vs 14%%",
+			100*reuse2/committed2, 100*reuse4/committed4),
+		"paper: 4 replicas reuse more but generate more speculative instructions (specCI)")
+	return t, nil
+}
+
+func expFig13(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig13", Title: "harmonic-mean IPC with the speculative data memory (ci, 1 port)",
+		Header: []string{"config", "scal", "wb", "ci", "ci-h-128", "ci-h-256", "ci-h-512", "ci-h-768"}}
+	for _, regs := range regSweep {
+		row := []string{regLabel(regs)}
+		for _, m := range []core.Mode{core.ModeScalar, core.ModeWideBus} {
+			res, err := h.RunAll(RunSpec{Mode: m, Ports: 1, Regs: regs})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(HarmonicMeanIPC(res)))
+		}
+		res, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: regs})
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, f3(HarmonicMeanIPC(res)))
+		for _, sm := range []int{128, 256, 512, 768} {
+			res, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: regs, SpecMem: sm})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(HarmonicMeanIPC(res)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: 256 regs + 768 spec positions ≈ unbounded monolithic file; the spec memory relieves register pressure")
+	return t, nil
+}
+
+func expFig14(h *Harness) (*Table, error) {
+	t := &Table{ID: "fig14", Title: "control independence vs. full dynamic vectorization [12] (2 wide ports)",
+		Header: []string{"config", "ci", "vect", "ci wrong-spec%", "vect wrong-spec%"}}
+	for _, regs := range regSweep {
+		ciRes, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 2, Regs: regs})
+		if err != nil {
+			return nil, err
+		}
+		vRes, err := h.RunAll(RunSpec{Mode: core.ModeVect, Ports: 2, Regs: regs})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(regLabel(regs), f3(HarmonicMeanIPC(ciRes)), f3(HarmonicMeanIPC(vRes)),
+			pct(wrongSpecFraction(ciRes)), pct(wrongSpecFraction(vRes)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: ci wins below ~700 registers; vect wins by ~4% only with unbounded registers",
+		"paper: wrongly speculated work is 29.6% of executed instructions for ci vs 48.5% for vect")
+	return t, nil
+}
+
+// wrongSpecFraction approximates the paper's "wrongly speculated
+// instructions" metric: squashed wrong-path work plus replicas that
+// never validated, over all executed instructions.
+func wrongSpecFraction(res map[string]*core.Stats) float64 {
+	var wrong, total float64
+	for _, st := range res {
+		useful := float64(st.CommittedReuse)
+		spec := float64(st.ReplicasDispatched)
+		wasted := spec - useful
+		if wasted < 0 {
+			wasted = 0
+		}
+		wrong += float64(st.SquashedBP) + wasted
+		total += float64(st.Committed) + float64(st.SquashedBP) + spec
+	}
+	if total == 0 {
+		return 0
+	}
+	return wrong / total
+}
+
+func expRegs(h *Harness) (*Table, error) {
+	t := &Table{ID: "regs", Title: "average physical registers in use, unbounded file (§2.4.2)",
+		Header: []string{"bench", "no DAEC", "with DAEC", "peak no DAEC", "peak DAEC"}}
+	noDaec, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 0, NoDAEC: true})
+	if err != nil {
+		return nil, err
+	}
+	daec, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 0})
+	if err != nil {
+		return nil, err
+	}
+	var avgN, avgD float64
+	for _, name := range sortedNames(daec) {
+		a, b := noDaec[name], daec[name]
+		t.AddRow(name, f2(a.RegAvgInUse), f2(b.RegAvgInUse),
+			fmt.Sprint(a.RegPeak), fmt.Sprint(b.RegPeak))
+		avgN += a.RegAvgInUse
+		avgD += b.RegAvgInUse
+	}
+	n := float64(len(daec))
+	t.AddRow("INT(avg)", f2(avgN/n), f2(avgD/n), "", "")
+	t.Notes = append(t.Notes,
+		"paper: 812 registers in use on average without the DAEC scheme, 304 with it")
+	return t, nil
+}
+
+func expStores(h *Harness) (*Table, error) {
+	t := &Table{ID: "stores", Title: "stores conflicting with replica address ranges (§2.4.3)",
+		Header: []string{"bench", "stores", "conflicts", "rate"}}
+	res, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 256})
+	if err != nil {
+		return nil, err
+	}
+	var rates []float64
+	for _, name := range sortedNames(res) {
+		st := res[name]
+		t.AddRow(name, u64(st.Stores), u64(st.StoreConflicts), pct(st.StoreConflictRate()))
+		rates = append(rates, st.StoreConflictRate())
+	}
+	sort.Float64s(rates)
+	t.Notes = append(t.Notes,
+		"paper: fewer than 3% of stores write an address previously read by a speculative load")
+	return t, nil
+}

@@ -1,0 +1,209 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§3) over the synthetic SpecInt2000 workloads. Each
+// experiment produces a Table whose rows mirror the series the paper
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Runs are memoized (several figures share the same configurations) and
+// executed in parallel across a bounded worker pool.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"civect/internal/core"
+	"civect/internal/workload"
+)
+
+// RunSpec identifies one simulation: a benchmark and the configuration
+// axes the paper sweeps.
+type RunSpec struct {
+	Bench      string
+	Mode       core.Mode
+	Ports      int // L1D ports (1 or 2)
+	Regs       int // physical registers; 0 = unbounded
+	Replicas   int
+	StridedPCs int
+	SpecMem    int // speculative data memory positions; 0 = none
+	SpecMemLat int
+	NoDAEC     bool
+	NoMBSGate  bool
+	MaxInstr   uint64
+}
+
+// Options configures a harness.
+type Options struct {
+	// MaxInstr is the committed-instruction budget per run (the paper
+	// simulates 100M; the default here is 200k, enough for stable
+	// shapes — scale it up with the -instr flag of cmd/ciexp).
+	MaxInstr uint64
+	// Benches restricts the benchmark set (default: all twelve).
+	Benches []string
+	// Workers bounds parallel simulations (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInstr == 0 {
+		o.MaxInstr = 200_000
+	}
+	if len(o.Benches) == 0 {
+		o.Benches = workload.Names()
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Harness memoizes simulation runs across experiments.
+type Harness struct {
+	opt Options
+
+	mu    sync.Mutex
+	cache map[RunSpec]*core.Stats
+	sem   chan struct{}
+}
+
+// New builds a harness.
+func New(opt Options) *Harness {
+	opt = opt.withDefaults()
+	return &Harness{
+		opt:   opt,
+		cache: make(map[RunSpec]*core.Stats),
+		sem:   make(chan struct{}, opt.Workers),
+	}
+}
+
+// Options returns the harness options (with defaults applied).
+func (h *Harness) Options() Options { return h.opt }
+
+// configFor translates a RunSpec into a core.Config, applying the
+// paper's reorder-buffer sizing rule.
+func configFor(s RunSpec) core.Config {
+	cfg := core.DefaultConfig(s.Mode)
+	cfg.DL1Ports = s.Ports
+	cfg.PhysRegs = s.Regs
+	cfg.WindowSize = core.WindowFor(s.Regs)
+	if s.Replicas > 0 {
+		cfg.Replicas = s.Replicas
+	}
+	if s.StridedPCs > 0 {
+		cfg.StridedPCsPerEntry = s.StridedPCs
+	}
+	cfg.SpecMemSize = s.SpecMem
+	if s.SpecMemLat > 0 {
+		cfg.SpecMemLat = s.SpecMemLat
+	}
+	cfg.DisableDAEC = s.NoDAEC
+	cfg.DisableMBSGate = s.NoMBSGate
+	cfg.MaxInstr = s.MaxInstr
+	return cfg
+}
+
+// Run simulates one spec (memoized).
+func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
+	if s.MaxInstr == 0 {
+		s.MaxInstr = h.opt.MaxInstr
+	}
+	if s.Ports == 0 {
+		s.Ports = 1
+	}
+	h.mu.Lock()
+	if st, ok := h.cache[s]; ok {
+		h.mu.Unlock()
+		return st, nil
+	}
+	h.mu.Unlock()
+
+	h.sem <- struct{}{}
+	defer func() { <-h.sem }()
+
+	// Re-check: another worker may have filled it while we waited.
+	h.mu.Lock()
+	if st, ok := h.cache[s]; ok {
+		h.mu.Unlock()
+		return st, nil
+	}
+	h.mu.Unlock()
+
+	b, err := workload.Spec(s.Bench)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.New(configFor(s), b.Program, b.NewMem())
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v: %v", s.Bench, s.Mode, err)
+	}
+	st, err := p.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v: %v", s.Bench, s.Mode, err)
+	}
+
+	h.mu.Lock()
+	h.cache[s] = st
+	h.mu.Unlock()
+	return st, nil
+}
+
+// RunAll simulates one spec per benchmark in parallel and returns the
+// stats keyed by benchmark name.
+func (h *Harness) RunAll(base RunSpec) (map[string]*core.Stats, error) {
+	type result struct {
+		name string
+		st   *core.Stats
+		err  error
+	}
+	ch := make(chan result, len(h.opt.Benches))
+	var wg sync.WaitGroup
+	for _, name := range h.opt.Benches {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			s := base
+			s.Bench = name
+			st, err := h.Run(s)
+			ch <- result{name, st, err}
+		}(name)
+	}
+	wg.Wait()
+	close(ch)
+	out := make(map[string]*core.Stats, len(h.opt.Benches))
+	for r := range ch {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[r.name] = r.st
+	}
+	return out, nil
+}
+
+// HarmonicMeanIPC aggregates per-benchmark IPCs the way the paper does
+// ("harmonic means are used to average IPC across the whole benchmark
+// suite").
+func HarmonicMeanIPC(stats map[string]*core.Stats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var invSum float64
+	for _, st := range stats {
+		ipc := st.IPC()
+		if ipc <= 0 {
+			return 0
+		}
+		invSum += 1 / ipc
+	}
+	return float64(len(stats)) / invSum
+}
+
+// sortedNames returns map keys in stable order.
+func sortedNames(m map[string]*core.Stats) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

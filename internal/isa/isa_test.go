@@ -1,0 +1,227 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop:  "nop",
+		OpAdd:  "add",
+		OpLd:   "ld",
+		OpSt:   "st",
+		OpBEQZ: "beqz",
+		OpHalt: "halt",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q, want to contain opcode number", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for o := OpNop; o < numOps; o++ {
+		if !o.Valid() {
+			t.Errorf("op %v should be valid", o)
+		}
+	}
+	if Op(numOps).Valid() {
+		t.Error("sentinel opcode must not be valid")
+	}
+	if Op(255).Valid() {
+		t.Error("opcode 255 must not be valid")
+	}
+}
+
+func TestInstrClassification(t *testing.T) {
+	tests := []struct {
+		in                                 Instr
+		branch, jump, load, store, control bool
+	}{
+		{Instr{Op: OpBEQZ}, true, false, false, false, true},
+		{Instr{Op: OpBNEZ}, true, false, false, false, true},
+		{Instr{Op: OpJmp}, false, true, false, false, true},
+		{Instr{Op: OpLd}, false, false, true, false, false},
+		{Instr{Op: OpSt}, false, false, false, true, false},
+		{Instr{Op: OpAdd}, false, false, false, false, false},
+		{Instr{Op: OpHalt}, false, false, false, false, true},
+	}
+	for _, tc := range tests {
+		if got := tc.in.IsCondBranch(); got != tc.branch {
+			t.Errorf("%v.IsCondBranch() = %v", tc.in.Op, got)
+		}
+		if got := tc.in.IsJump(); got != tc.jump {
+			t.Errorf("%v.IsJump() = %v", tc.in.Op, got)
+		}
+		if got := tc.in.IsLoad(); got != tc.load {
+			t.Errorf("%v.IsLoad() = %v", tc.in.Op, got)
+		}
+		if got := tc.in.IsStore(); got != tc.store {
+			t.Errorf("%v.IsStore() = %v", tc.in.Op, got)
+		}
+		if got := tc.in.IsControl(); got != tc.control {
+			t.Errorf("%v.IsControl() = %v", tc.in.Op, got)
+		}
+		if got := tc.in.IsMem(); got != (tc.load || tc.store) {
+			t.Errorf("%v.IsMem() = %v", tc.in.Op, got)
+		}
+	}
+}
+
+func TestWritesReg(t *testing.T) {
+	writers := []Op{OpMovI, OpMov, OpAdd, OpAddI, OpSub, OpSubI, OpMul, OpDiv,
+		OpAnd, OpOr, OpXor, OpShlI, OpShrI, OpSLT, OpSLTI, OpSEQ, OpSEQI, OpLd}
+	for _, op := range writers {
+		in := Instr{Op: op, Rd: 7}
+		rd, ok := in.WritesReg()
+		if !ok || rd != 7 {
+			t.Errorf("%v should write R7, got (%v, %v)", op, rd, ok)
+		}
+	}
+	nonWriters := []Op{OpNop, OpSt, OpBEQZ, OpBNEZ, OpJmp, OpHalt}
+	for _, op := range nonWriters {
+		if _, ok := (Instr{Op: op, Rd: 7}).WritesReg(); ok {
+			t.Errorf("%v should not write a register", op)
+		}
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want []Reg
+	}{
+		{Instr{Op: OpAdd, Ra: 1, Rb: 2}, []Reg{1, 2}},
+		{Instr{Op: OpAddI, Ra: 3}, []Reg{3}},
+		{Instr{Op: OpLd, Ra: 4}, []Reg{4}},
+		{Instr{Op: OpSt, Ra: 5, Rb: 6}, []Reg{5, 6}},
+		{Instr{Op: OpBEQZ, Ra: 7}, []Reg{7}},
+		{Instr{Op: OpMovI}, nil},
+		{Instr{Op: OpJmp}, nil},
+		{Instr{Op: OpNop}, nil},
+	}
+	for _, tc := range tests {
+		got := tc.in.SrcRegs(nil)
+		if len(got) != len(tc.want) {
+			t.Errorf("%v.SrcRegs() = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%v.SrcRegs() = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestSrcRegsAppends(t *testing.T) {
+	base := []Reg{9}
+	got := Instr{Op: OpAdd, Ra: 1, Rb: 2}.SrcRegs(base)
+	if len(got) != 3 || got[0] != 9 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("SrcRegs should append, got %v", got)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpMovI, Rd: 1, Imm: 42}, "movi R1, 42"},
+		{Instr{Op: OpAdd, Rd: 4, Ra: 4, Rb: 0}, "add R4, R4, R0"},
+		{Instr{Op: OpAddI, Rd: 1, Ra: 1, Imm: 8}, "addi R1, R1, 8"},
+		{Instr{Op: OpLd, Rd: 0, Ra: 1, Imm: 0}, "ld R0, 0(R1)"},
+		{Instr{Op: OpSt, Rb: 2, Ra: 1, Imm: 16}, "st R2, 16(R1)"},
+		{Instr{Op: OpBEQZ, Ra: 0, Target: 9}, "beqz R0, 9"},
+		{Instr{Op: OpJmp, Target: 3}, "jmp 3"},
+		{Instr{Op: OpHalt}, "halt"},
+	}
+	for _, tc := range tests {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestProgramAtOutOfRange(t *testing.T) {
+	p := &Program{Code: []Instr{{Op: OpNop}, {Op: OpHalt}}}
+	if got := p.At(-1); got.Op != OpHalt {
+		t.Errorf("At(-1) = %v, want halt", got)
+	}
+	if got := p.At(2); got.Op != OpHalt {
+		t.Errorf("At(2) = %v, want halt", got)
+	}
+	if got := p.At(0); got.Op != OpNop {
+		t.Errorf("At(0) = %v, want nop", got)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	good := &Program{Code: []Instr{
+		{Op: OpMovI, Rd: 1, Imm: 5},
+		{Op: OpBEQZ, Ra: 1, Target: 0},
+		{Op: OpHalt},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good program failed validation: %v", err)
+	}
+
+	bad := []*Program{
+		{Code: nil},
+		{Code: []Instr{{Op: numOps}, {Op: OpHalt}}},
+		{Code: []Instr{{Op: OpAdd, Rd: 64}, {Op: OpHalt}}},
+		{Code: []Instr{{Op: OpBEQZ, Target: 99}, {Op: OpHalt}}},
+		{Code: []Instr{{Op: OpNop}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad program %d passed validation", i)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{Code: []Instr{
+		{Op: OpMovI, Rd: 1, Imm: 5},
+		{Op: OpHalt},
+	}}
+	dis := p.Disassemble()
+	if !strings.Contains(dis, "0: movi R1, 5") || !strings.Contains(dis, "1: halt") {
+		t.Errorf("unexpected disassembly:\n%s", dis)
+	}
+}
+
+// Property: every valid opcode has a non-empty mnemonic, classification
+// predicates are mutually consistent, and String never panics.
+func TestInstrStringTotal(t *testing.T) {
+	f := func(op uint8, rd, ra, rb uint8, imm int64, tgt int16) bool {
+		in := Instr{
+			Op: Op(op % uint8(numOps)), Rd: Reg(rd % NumLogical),
+			Ra: Reg(ra % NumLogical), Rb: Reg(rb % NumLogical),
+			Imm: imm, Target: int(tgt),
+		}
+		s := in.String()
+		if s == "" {
+			return false
+		}
+		if in.IsLoad() && in.IsStore() {
+			return false
+		}
+		if in.IsCondBranch() && in.IsJump() {
+			return false
+		}
+		if _, ok := in.WritesReg(); ok && in.IsControl() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

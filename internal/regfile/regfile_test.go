@@ -1,0 +1,247 @@
+package regfile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedAllocRelease(t *testing.T) {
+	f := NewFile(4)
+	if f.Size() != 4 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	regs := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		r, ok := f.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		regs = append(regs, r)
+	}
+	if _, ok := f.Alloc(); ok {
+		t.Fatal("alloc should fail when exhausted")
+	}
+	if f.InUse() != 4 || f.FreeCount() != 0 {
+		t.Fatalf("inUse=%d free=%d", f.InUse(), f.FreeCount())
+	}
+	f.Release(regs[0])
+	if f.InUse() != 3 || f.FreeCount() != 1 {
+		t.Fatalf("after release inUse=%d free=%d", f.InUse(), f.FreeCount())
+	}
+	if _, ok := f.Alloc(); !ok {
+		t.Fatal("alloc should succeed after release")
+	}
+}
+
+func TestUnboundedGrows(t *testing.T) {
+	f := NewFile(0)
+	if f.Size() != -1 {
+		t.Fatalf("unbounded size = %d, want -1", f.Size())
+	}
+	for i := 0; i < 1000; i++ {
+		if _, ok := f.Alloc(); !ok {
+			t.Fatalf("unbounded alloc %d failed", i)
+		}
+	}
+	if f.InUse() != 1000 {
+		t.Fatalf("inUse = %d", f.InUse())
+	}
+	if f.Peak() != 1000 {
+		t.Fatalf("peak = %d", f.Peak())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	f := NewFile(2)
+	r, _ := f.Alloc()
+	f.Release(r)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free must panic")
+		}
+	}()
+	f.Release(r)
+}
+
+func TestAllocClearsState(t *testing.T) {
+	f := NewFile(1)
+	r, _ := f.Alloc()
+	f.Write(r, 99)
+	if !f.Ready(r) || f.Value(r) != 99 {
+		t.Fatal("write should set value and ready")
+	}
+	f.Release(r)
+	r2, _ := f.Alloc()
+	if r2 != r {
+		t.Fatalf("expected reuse of the single register")
+	}
+	if f.Ready(r2) || f.Value(r2) != 0 {
+		t.Error("alloc must clear ready and value")
+	}
+}
+
+func TestOccupancyStats(t *testing.T) {
+	f := NewFile(8)
+	a, _ := f.Alloc()
+	f.Sample() // 1
+	b, _ := f.Alloc()
+	f.Sample() // 2
+	f.Release(a)
+	f.Sample() // 1
+	_ = b
+	if got := f.AvgInUse(); got != 4.0/3.0 {
+		t.Errorf("avg = %v, want 4/3", got)
+	}
+	if f.Peak() != 2 {
+		t.Errorf("peak = %d, want 2", f.Peak())
+	}
+	var empty File
+	if empty.AvgInUse() != 0 {
+		t.Error("no samples -> avg 0")
+	}
+}
+
+func TestAllocated(t *testing.T) {
+	f := NewFile(2)
+	r, _ := f.Alloc()
+	if !f.Allocated(r) {
+		t.Error("allocated reg should report true")
+	}
+	f.Release(r)
+	if f.Allocated(r) {
+		t.Error("released reg should report false")
+	}
+	if f.Allocated(99) {
+		t.Error("out-of-range reg should report false")
+	}
+}
+
+// Property: alloc/release sequences keep the free list consistent: no
+// register is handed out twice while allocated, and InUse matches the
+// model.
+func TestFileFreeListConsistency(t *testing.T) {
+	f := func(ops []bool) bool {
+		file := NewFile(16)
+		var live []int
+		for _, alloc := range ops {
+			if alloc {
+				r, ok := file.Alloc()
+				if !ok {
+					if len(live) != 16 {
+						return false
+					}
+					continue
+				}
+				for _, l := range live {
+					if l == r {
+						return false // double allocation
+					}
+				}
+				live = append(live, r)
+			} else if len(live) > 0 {
+				file.Release(live[len(live)-1])
+				live = live[:len(live)-1]
+			}
+		}
+		return file.InUse() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecMemBasics(t *testing.T) {
+	s := NewSpecMem(4, 2)
+	if s.Size() != 4 || s.Latency() != 2 {
+		t.Fatalf("size/lat = %d/%d", s.Size(), s.Latency())
+	}
+	p, ok := s.Alloc()
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if s.Ready(p) {
+		t.Error("fresh position must not be ready")
+	}
+	s.BeginCycle()
+	if !s.TryWrite(p, 42) {
+		t.Fatal("write port should be free")
+	}
+	if !s.Ready(p) || s.Value(p) != 42 {
+		t.Error("write should set value")
+	}
+	v, lat, ok := s.TryRead(p)
+	if !ok || v != 42 || lat != 2 {
+		t.Errorf("read = (%d,%d,%v)", v, lat, ok)
+	}
+}
+
+func TestSpecMemPorts(t *testing.T) {
+	s := NewSpecMem(8, 2)
+	p0, _ := s.Alloc()
+	p1, _ := s.Alloc()
+	p2, _ := s.Alloc()
+	s.BeginCycle()
+	if !s.TryWrite(p0, 1) || !s.TryWrite(p1, 2) {
+		t.Fatal("two writes should fit")
+	}
+	if s.TryWrite(p2, 3) {
+		t.Fatal("third write should be rejected (2 write ports)")
+	}
+	if _, _, ok := s.TryRead(p0); !ok {
+		t.Fatal("read 1 should fit")
+	}
+	if _, _, ok := s.TryRead(p1); !ok {
+		t.Fatal("read 2 should fit")
+	}
+	if _, _, ok := s.TryRead(p0); ok {
+		t.Fatal("third read should be rejected (2 read ports)")
+	}
+	s.BeginCycle()
+	if !s.TryWrite(p2, 3) {
+		t.Fatal("ports reset next cycle")
+	}
+}
+
+func TestSpecMemExhaustion(t *testing.T) {
+	s := NewSpecMem(2, 2)
+	s.Alloc()
+	p, _ := s.Alloc()
+	if _, ok := s.Alloc(); ok {
+		t.Fatal("alloc should fail when full")
+	}
+	s.Release(p)
+	if s.FreeCount() != 1 || s.InUse() != 1 {
+		t.Fatalf("free=%d inUse=%d", s.FreeCount(), s.InUse())
+	}
+	if _, ok := s.Alloc(); !ok {
+		t.Fatal("alloc should succeed after release")
+	}
+}
+
+func TestSpecMemDoubleFreePanics(t *testing.T) {
+	s := NewSpecMem(2, 2)
+	p, _ := s.Alloc()
+	s.Release(p)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free must panic")
+		}
+	}()
+	s.Release(p)
+}
+
+func TestSpecMemDefaultLatency(t *testing.T) {
+	s := NewSpecMem(4, 0)
+	if s.Latency() != 2 {
+		t.Errorf("default latency = %d, want 2", s.Latency())
+	}
+}
+
+func TestSpecMemBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewSpecMem(0, 2)
+}

@@ -1,0 +1,105 @@
+package workload
+
+import "sort"
+
+// specParams tunes the twelve SpecInt2000 stand-ins. The knobs are set
+// from each program's published character: mcf is memory-bound with
+// pointer chasing and a huge working set; eon is highly predictable and
+// ILP-rich; parser/twolf/vpr mispredict heavily; vortex and gap are
+// store- and dataset-heavy; crafty and bzip2 sit in between.
+var specParams = map[string]Params{
+	"bzip2": {
+		Name: "bzip2", ArrayWords: 1 << 10, Iters: 1 << 22, TakenBias: 0.74,
+		Hammocks: 1, CIOps: 3, ArmOps: 4, FillerOps: 4, Streams: 2, Gathers: 2, StoreEvery: 1, Seed: 101,
+	},
+	"crafty": {
+		Name: "crafty", ArrayWords: 1 << 10, Iters: 1 << 22, TakenBias: 0.80,
+		Hammocks: 2, CIOps: 3, ArmOps: 5, FillerOps: 6, Streams: 2, ArmLoads: 1, Gathers: 1, StoreEvery: 0, Seed: 102,
+	},
+	"eon": {
+		Name: "eon", ArrayWords: 1 << 10, Iters: 1 << 22, TakenBias: 0.96,
+		Hammocks: 1, CIOps: 3, ArmOps: 3, FillerOps: 8, Streams: 3, Gathers: 1, StoreEvery: 1, Seed: 103,
+	},
+	"gap": {
+		Name: "gap", ArrayWords: 1 << 12, Iters: 1 << 22, TakenBias: 0.80,
+		Hammocks: 1, CIOps: 3, ArmOps: 4, FillerOps: 4, Streams: 2, ArmLoads: 1, Gathers: 2, StoreEvery: 1, Seed: 104,
+	},
+	"gcc": {
+		Name: "gcc", ArrayWords: 1 << 11, Iters: 1 << 22, TakenBias: 0.68,
+		Hammocks: 2, CIOps: 3, ArmOps: 5, FillerOps: 3, Streams: 2, ArmLoads: 1, Gathers: 2, StoreEvery: 1, Seed: 105,
+	},
+	"gzip": {
+		Name: "gzip", ArrayWords: 1 << 10, Iters: 1 << 22, TakenBias: 0.74,
+		Hammocks: 1, CIOps: 3, ArmOps: 3, FillerOps: 3, Streams: 2, Gathers: 1, StoreEvery: 1, Seed: 106,
+	},
+	"mcf": {
+		Name: "mcf", ArrayWords: 1 << 16, Iters: 1 << 22, TakenBias: 0.72,
+		Hammocks: 1, CIOps: 2, ArmOps: 2, FillerOps: 1, Streams: 2, PointerChase: true,
+		Gathers: 1, StoreEvery: 8, Seed: 107,
+	},
+	"parser": {
+		Name: "parser", ArrayWords: 1 << 10, Iters: 1 << 22, TakenBias: 0.62,
+		Hammocks: 2, CIOps: 3, ArmOps: 4, FillerOps: 2, Streams: 2, ArmLoads: 1, Gathers: 2, StoreEvery: 1, Seed: 108,
+	},
+	"perlbmk": {
+		Name: "perlbmk", ArrayWords: 1 << 11, Iters: 1 << 22, TakenBias: 0.72,
+		Hammocks: 2, CIOps: 3, ArmOps: 4, FillerOps: 4, Streams: 2, ArmLoads: 1, Gathers: 2, StoreEvery: 1, Seed: 109,
+	},
+	"twolf": {
+		Name: "twolf", ArrayWords: 1 << 13, Iters: 1 << 22, TakenBias: 0.68,
+		Hammocks: 2, CIOps: 3, ArmOps: 3, FillerOps: 2, Streams: 2, PointerChase: true,
+		ArmLoads: 1, Gathers: 1, StoreIntoStream: true, StoreEvery: 4, Seed: 110,
+	},
+	"vortex": {
+		Name: "vortex", ArrayWords: 1 << 12, Iters: 1 << 22, TakenBias: 0.82,
+		Hammocks: 1, CIOps: 3, ArmOps: 4, FillerOps: 5, Streams: 2, ArmLoads: 1, Gathers: 2, StoreIntoStream: true, StoreEvery: 1, Seed: 111,
+	},
+	"vpr": {
+		Name: "vpr", ArrayWords: 1 << 11, Iters: 1 << 22, TakenBias: 0.70,
+		Hammocks: 1, CIOps: 3, ArmOps: 3, FillerOps: 3, Streams: 2, Gathers: 1, StoreEvery: 1, Seed: 112,
+	},
+}
+
+// Names returns the benchmark names in SpecInt2000's customary order.
+func Names() []string {
+	names := make([]string, 0, len(specParams))
+	for n := range specParams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParamsFor returns the tuning for a named benchmark.
+func ParamsFor(name string) (Params, bool) {
+	p, ok := specParams[name]
+	return p, ok
+}
+
+// Spec generates a named SpecInt2000 stand-in.
+func Spec(name string) (*Benchmark, error) {
+	p, ok := specParams[name]
+	if !ok {
+		return nil, errUnknown(name)
+	}
+	return Generate(p)
+}
+
+type errUnknown string
+
+func (e errUnknown) Error() string { return "workload: unknown benchmark " + string(e) }
+
+// Hammock returns the paper's Figure 1 kernel over n elements with the
+// given fraction of zero elements (which steers the hard branch),
+// suitable for examples and focused tests.
+func Hammock(n int, zeroFrac float64, seed int64) *Benchmark {
+	words := 1
+	for words < n {
+		words <<= 1
+	}
+	return MustGenerate(Params{
+		Name: "hammock", ArrayWords: words, Iters: 1 << 22,
+		TakenBias: 1 - zeroFrac, Hammocks: 1, CIOps: 3, FillerOps: 0,
+		Streams: 2, StoreEvery: 0, Seed: seed,
+	})
+}
