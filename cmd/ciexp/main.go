@@ -1,14 +1,20 @@
 // Command ciexp regenerates the paper's tables and figures over the
 // synthetic SpecInt2000 workloads.
 //
+// Experiments run concurrently (they share one memoized run cache), and
+// the -workers flag bounds how many simulations may execute at once
+// across all of them.
+//
 // Usage:
 //
 //	ciexp -exp fig9                 # one experiment
 //	ciexp -exp all -instr 500000    # everything, bigger samples
+//	ciexp -exp all -json            # machine-readable tables
 //	ciexp -list                     # show available experiments
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +27,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (cost, fig4, fig5, fig8, fig9, fig10, fig11, fig12, fig13, fig14, regs, stores, ablate) or 'all'")
 	instr := flag.Uint64("instr", 200_000, "committed-instruction budget per simulation")
 	benches := flag.String("benches", "", "comma-separated benchmark subset (default: all twelve)")
-	workers := flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "maximum simulations in flight across all experiments (default GOMAXPROCS; 1 fully serializes)")
+	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -38,25 +45,32 @@ func main() {
 	}
 	h := harness.New(opt)
 
-	run := func(e harness.Experiment) {
-		t, err := e.Run(h)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ciexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+	exps := harness.Experiments()
+	if *exp != "all" {
+		e, ok := harness.ExperimentByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ciexp: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
 		}
-		fmt.Println(t)
+		exps = []harness.Experiment{e}
 	}
 
-	if *exp == "all" {
-		for _, e := range harness.Experiments() {
-			run(e)
+	tables, err := harness.RunExperiments(h, exps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ciexp: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			fmt.Fprintf(os.Stderr, "ciexp: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
-	e, ok := harness.ExperimentByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ciexp: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
+	for _, t := range tables {
+		fmt.Println(t)
 	}
-	run(e)
 }

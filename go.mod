@@ -1,0 +1,3 @@
+module civect
+
+go 1.22

@@ -51,10 +51,13 @@ type line struct {
 	lru   uint64
 }
 
-// Cache is a single set-associative cache level.
+// Cache is a single set-associative cache level. The ways of all sets
+// live in one flat backing array (set s occupies lines[s*Assoc :
+// (s+1)*Assoc]), so building a cache costs one allocation and lookups
+// stay on one cache line per set.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	lines    []line
 	clock    uint64
 	shift    uint // log2(LineBytes)
 	setShift uint // log2(set count)
@@ -75,11 +78,8 @@ func New(cfg Config) *Cache {
 	}
 	c := &Cache{
 		cfg:    cfg,
-		sets:   make([][]line, nsets),
+		lines:  make([]line, nsets*cfg.Assoc),
 		setMsk: uint64(nsets - 1),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Assoc)
 	}
 	for b := cfg.LineBytes; b > 1; b >>= 1 {
 		c.shift++
@@ -88,6 +88,11 @@ func New(cfg Config) *Cache {
 		c.setShift++
 	}
 	return c
+}
+
+// set returns the ways of the set holding addr's index.
+func (c *Cache) set(set int) []line {
+	return c.lines[set*c.cfg.Assoc : (set+1)*c.cfg.Assoc]
 }
 
 // Config returns the cache geometry.
@@ -102,8 +107,9 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 // or statistics.
 func (c *Cache) Lookup(addr uint64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+	lines := c.set(set)
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
 			return true
 		}
 	}
@@ -117,7 +123,7 @@ func (c *Cache) Access(addr uint64, write bool) (hit bool, lat int) {
 	c.clock++
 	c.Stats.Accesses++
 	set, tag := c.index(addr)
-	lines := c.sets[set]
+	lines := c.set(set)
 	for i := range lines {
 		if lines[i].valid && lines[i].tag == tag {
 			lines[i].lru = c.clock
@@ -156,9 +162,5 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 
 // Flush invalidates every line (used between runs).
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
-	}
+	clear(c.lines)
 }

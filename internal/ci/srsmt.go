@@ -33,6 +33,11 @@ type OperandRef struct {
 	// guards against the producer entry being reallocated.
 	PC  uint64
 	Gen uint64
+	// Prod caches the producer's table way for OperandVec so the
+	// per-cycle replica input resolution skips the set scan. Ways are
+	// fixed storage, so the pointer stays valid; Valid+Gen detect
+	// reallocation exactly as a Lookup would.
+	Prod *Entry
 	// Base is the producer's Decode cursor at the time this entry was
 	// created: consumer replica k reads the producer's absolute replica
 	// Base+k, which keeps the two instruction streams aligned.
@@ -87,6 +92,9 @@ type Entry struct {
 	Instr isa.Instr
 
 	IsLoad bool
+	// NSrc is Instr's source-operand count, precomputed so replica
+	// issue does not re-derive it every attempt.
+	NSrc uint8
 	// Stride is the predicted stride a vectorized load was created
 	// with; validation requires it to keep on being the same.
 	Stride int64
@@ -120,6 +128,15 @@ type Entry struct {
 	CreatorSeq uint64
 	// Issue counts replicas issued but not yet finished executing.
 	Issue int
+	// Pending counts allocated ring slots in the Waiting or Issued
+	// states — the slots the per-cycle replica scan can still act on.
+	// The pipeline maintains it at every state transition so an entry
+	// whose replicas are all Done/Failed can be skipped in O(1).
+	Pending int
+	// ActiveMask mirrors Pending per ring slot (bit i covers
+	// Replicas[i]) so the scan visits only actionable slots. Valid for
+	// rings of at most 64 slots; larger rings fall back to a full scan.
+	ActiveMask uint64
 	// DAEC is the Dead Association Elimination Counter (§2.4.2).
 	DAEC int
 
@@ -141,6 +158,15 @@ type Entry struct {
 	// (reuse statistics, Figure 5).
 	Episode uint64
 
+	// Stamp and Listed belong to the pipeline's active-entry worklist:
+	// Stamp is the creation order of this incarnation (worklist
+	// arbitration order), Listed whether the incarnation is currently
+	// enqueued. Idle entries are parked off the list and re-inserted in
+	// Stamp order when cursor movement creates work, so arbitration
+	// order is identical to scanning every entry every cycle.
+	Stamp  uint64
+	Listed bool
+
 	lru uint64
 }
 
@@ -151,16 +177,49 @@ func (e *Entry) Deallocatable() bool {
 }
 
 // Slot returns the ring slot for absolute replica index abs, or nil
-// when the slot has been reused for a different absolute index.
+// when the slot has been reused for a different absolute index. The
+// ring size is a power of two (InitRing), so the index is a mask, not
+// a division.
 func (e *Entry) Slot(abs int) *Replica {
 	if abs < 0 || len(e.Replicas) == 0 {
 		return nil
 	}
-	r := &e.Replicas[abs%len(e.Replicas)]
+	r := &e.Replicas[abs&(len(e.Replicas)-1)]
 	if r.Abs != abs {
 		return nil
 	}
 	return r
+}
+
+// Settle retires an actionable (Waiting/Issued) slot into a terminal
+// state, keeping the Pending counter and ActiveMask coherent. Every
+// transition out of Waiting/Issued must go through here — hand-rolled
+// bookkeeping at call sites is how the two desync. (The &63 keeps the
+// shift in range for >64-slot rings, whose mask is unused.)
+func (e *Entry) Settle(slot *Replica, st ReplicaState) {
+	slot.State = st
+	e.Pending--
+	e.ActiveMask &^= 1 << (uint(slot.Abs) & uint(len(e.Replicas)-1) & 63)
+}
+
+// InitRing sizes the replica ring to at least n slots, rounded up to a
+// power of two so Slot can mask instead of divide, reusing the backing
+// array left behind by the way's previous incarnation when it is large
+// enough.
+func (e *Entry) InitRing(n int) {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if cap(e.Replicas) >= size {
+		e.Replicas = e.Replicas[:size]
+	} else {
+		e.Replicas = make([]Replica, size)
+	}
+	for i := range e.Replicas {
+		e.Replicas[i] = Replica{Abs: -1, Dest: -1}
+	}
+	e.ActiveMask = 0
 }
 
 // CoversAddr reports whether addr falls in the entry's replica address
@@ -177,6 +236,11 @@ type SRSMT struct {
 	ways  []Entry
 	clock uint64
 	gen   uint64
+	// present is a PC-indexed bitmap of valid entries (creation checks
+	// Lookup first, so a PC maps to at most one way). Lookup consults it
+	// before scanning the set: the pipeline probes the table for every
+	// committed and renamed instruction, and almost all probes miss.
+	present []uint64
 }
 
 // NewSRSMT builds the table.
@@ -197,6 +261,10 @@ func (t *SRSMT) set(pc uint64) []Entry {
 
 // Lookup returns the valid entry for pc, or nil.
 func (t *SRSMT) Lookup(pc uint64) *Entry {
+	w := pc >> 6
+	if w >= uint64(len(t.present)) || t.present[w]&(1<<(pc&63)) == 0 {
+		return nil
+	}
 	ways := t.set(pc)
 	for i := range ways {
 		if ways[i].Valid && ways[i].PC == pc {
@@ -204,6 +272,24 @@ func (t *SRSMT) Lookup(pc uint64) *Entry {
 		}
 	}
 	return nil
+}
+
+// markPresent sets or clears pc's presence bit.
+func (t *SRSMT) markPresent(pc uint64, on bool) {
+	w := pc >> 6
+	if w >= uint64(len(t.present)) {
+		if !on {
+			return
+		}
+		grown := make([]uint64, max(2*len(t.present), int(w)+8))
+		copy(grown, t.present)
+		t.present = grown
+	}
+	if on {
+		t.present[w] |= 1 << (pc & 63)
+	} else {
+		t.present[w] &^= 1 << (pc & 63)
+	}
 }
 
 // Touch refreshes the entry's LRU stamp.
@@ -236,17 +322,28 @@ func (t *SRSMT) AllocCandidate(pc uint64) *Entry {
 }
 
 // Init (re)initialises a way returned by AllocCandidate for pc with a
-// fresh generation, returning the entry.
+// fresh generation, returning the entry. The previous incarnation's
+// replica ring storage is kept for InitRing to reuse.
 func (t *SRSMT) Init(e *Entry, pc uint64, in isa.Instr) *Entry {
 	t.clock++
 	t.gen++
+	ring := e.Replicas[:0]
 	*e = Entry{Valid: true, PC: pc, Gen: t.gen, Instr: in, lru: t.clock}
+	e.Replicas = ring
+	t.markPresent(pc, true)
 	return e
 }
 
-// Invalidate clears an entry. The caller releases owned resources
-// first.
-func (t *SRSMT) Invalidate(e *Entry) { *e = Entry{} }
+// Invalidate clears an entry, keeping its replica ring storage for the
+// way's next incarnation. The caller releases owned resources first.
+func (t *SRSMT) Invalidate(e *Entry) {
+	if e.Valid {
+		t.markPresent(e.PC, false)
+	}
+	ring := e.Replicas[:0]
+	*e = Entry{}
+	e.Replicas = ring
+}
 
 // ForEachValid calls fn for every valid entry; fn returning false stops
 // the walk.
@@ -285,7 +382,7 @@ func (t *SRSMT) OnRecovery(countDAEC bool, dead func(*Entry)) {
 			if dead != nil {
 				dead(e)
 			}
-			*e = Entry{}
+			t.Invalidate(e)
 		}
 	}
 }

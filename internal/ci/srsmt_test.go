@@ -254,3 +254,57 @@ func TestCostString(t *testing.T) {
 		t.Error("cost string empty")
 	}
 }
+
+func TestInitRingPoolsStorage(t *testing.T) {
+	tab := NewSRSMT(4, 2)
+	w := tab.AllocCandidate(3)
+	e := tab.Init(w, 3, isa.Instr{})
+	e.InitRing(8)
+	if len(e.Replicas) != 8 {
+		t.Fatalf("ring size %d, want 8", len(e.Replicas))
+	}
+	first := &e.Replicas[0]
+	e.Replicas[0].Abs = 42
+
+	tab.Invalidate(e)
+	if e.Valid {
+		t.Fatal("invalidated entry still valid")
+	}
+	e2 := tab.Init(w, 7, isa.Instr{})
+	e2.InitRing(8)
+	if &e2.Replicas[0] != first {
+		t.Error("reinitialised way must reuse its replica ring storage")
+	}
+	if e2.Replicas[0].Abs != -1 || e2.Replicas[0].Dest != -1 {
+		t.Error("reused ring slots must be reset")
+	}
+	// Rounding up to a power of two keeps Slot a mask operation.
+	e2.InitRing(6)
+	if len(e2.Replicas) != 8 {
+		t.Errorf("ring size %d, want 8 (rounded up)", len(e2.Replicas))
+	}
+}
+
+func TestPresenceFilter(t *testing.T) {
+	tab := NewSRSMT(4, 2)
+	if tab.Lookup(9) != nil {
+		t.Fatal("empty table lookup must miss")
+	}
+	w := tab.AllocCandidate(9)
+	tab.Init(w, 9, isa.Instr{})
+	if tab.Lookup(9) == nil {
+		t.Fatal("present entry must be found")
+	}
+	tab.Invalidate(w)
+	if tab.Lookup(9) != nil {
+		t.Fatal("invalidated entry must miss")
+	}
+	// OnRecovery's DAEC teardown path must clear presence too.
+	w = tab.AllocCandidate(9)
+	e := tab.Init(w, 9, isa.Instr{})
+	e.DAEC = 1
+	tab.OnRecovery(true, nil)
+	if tab.Lookup(9) != nil {
+		t.Fatal("DAEC-dead entry must miss")
+	}
+}

@@ -11,14 +11,23 @@ import "civect/internal/ci"
 // the same PCs with the same dynamic operand producers, the result is
 // reused instead of re-executed.
 func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
-	clear(p.iwTable)
-	clear(p.iwRemap)
-	// chain maps a wrong-path physical destination to the value its
-	// instruction has produced or will produce: instructions kept in
-	// the window complete regardless of the squash, so a waiting ALU
-	// instruction whose operands are (transitively) available is as
-	// good as a finished one.
-	chain := make(map[int]uint64)
+	// Reset the previous episode's table without touching untouched PCs:
+	// only the PCs the last capture wrote are cleared, and the record
+	// slices keep their backing arrays.
+	for _, pc := range p.iwPCs {
+		p.iwTable[pc] = p.iwTable[pc][:0]
+		p.iwHead[pc] = 0
+	}
+	p.iwPCs = p.iwPCs[:0]
+	p.iwLive = 0
+	p.iwRemapFrom = p.iwRemapFrom[:0]
+	p.iwRemapTo = p.iwRemapTo[:0]
+	// The chain scratch maps a wrong-path physical destination to the
+	// value its instruction has produced or will produce: instructions
+	// kept in the window complete regardless of the squash, so a waiting
+	// ALU instruction whose operands are (transitively) available is as
+	// good as a finished one. Epoch stamping starts each capture empty.
+	p.iwChainEpoch++
 	reached := false
 	i := p.robIndexAfter(branchIdx)
 	for i != p.robTail {
@@ -40,7 +49,7 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 		value := e.value
 		resolved := e.state == stDone || e.state == stExecuting
 		if resolved {
-			chain[e.physDest] = value
+			p.chainSet(e.physDest, value)
 		} else if e.state == stWaiting && !e.in.IsMem() && !e.in.IsControl() {
 			var vals [2]uint64
 			ok := true
@@ -50,7 +59,7 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 				case p.rf.Ready(ph):
 					vals[s] = p.rf.Value(ph)
 				default:
-					v, hit := chain[ph]
+					v, hit := p.chainGet(ph)
 					if !hit {
 						ok = false
 						break
@@ -62,7 +71,7 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 				continue
 			}
 			value = execALU(e.in, vals[0], vals[1])
-			chain[e.physDest] = value
+			p.chainSet(e.physDest, value)
 			resolved = true
 		}
 		if !resolved || !reached {
@@ -83,7 +92,38 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 		}
 		rec := iwReuse{pc: e.pc, seq: e.seq, nsrc: e.nsrc, value: value}
 		rec.writerSeq = e.srcWriterSeq
+		if len(p.iwTable[e.pc]) == 0 {
+			p.iwPCs = append(p.iwPCs, e.pc)
+		}
 		p.iwTable[e.pc] = append(p.iwTable[e.pc], rec)
+		p.iwLive++
 		p.Stats.IWCaptured++
 	}
+}
+
+// chainSet records a resolved wrong-path value for physical register
+// reg in the capture-scoped chain scratch. The zero-valued mark array
+// reads as "set at epoch 0", so the scratch is only meaningful after
+// captureIW's epoch increment — call chainGet/chainSet from nowhere
+// else. (Same epoch-set pattern as freedMark in proc.go, which guards
+// the epoch-0 pitfall by starting at 1 instead.)
+func (p *Proc) chainSet(reg int, val uint64) {
+	if reg >= len(p.iwChainVal) {
+		n := max(2*len(p.iwChainVal), reg+64)
+		grownV := make([]uint64, n)
+		copy(grownV, p.iwChainVal)
+		grownM := make([]uint64, n)
+		copy(grownM, p.iwChainMark)
+		p.iwChainVal, p.iwChainMark = grownV, grownM
+	}
+	p.iwChainVal[reg] = val
+	p.iwChainMark[reg] = p.iwChainEpoch
+}
+
+// chainGet reads a value recorded by chainSet during this capture.
+func (p *Proc) chainGet(reg int) (uint64, bool) {
+	if reg >= len(p.iwChainMark) || p.iwChainMark[reg] != p.iwChainEpoch {
+		return 0, false
+	}
+	return p.iwChainVal[reg], true
 }

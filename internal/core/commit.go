@@ -122,8 +122,8 @@ func (p *Proc) finishCommit(idx int, h *robEntry) {
 			p.rf.Release(h.oldRen.phys)
 			// A pending recurrence seed may have lived in that register.
 			if len(p.seedWatch) > 0 {
-				clear(p.freedRegs)
-				p.freedRegs[h.oldRen.phys] = struct{}{}
+				p.clearFreed()
+				p.noteFreed(h.oldRen.phys)
 				p.failBrokenSeeds()
 			}
 		}
@@ -149,11 +149,12 @@ func (p *Proc) finishCommit(idx int, h *robEntry) {
 				if slot.State == ci.ReplicaWaiting {
 					// Never issued and now past the commit point:
 					// nothing will consume it.
-					slot.State = ci.ReplicaFailed
+					ent.Settle(slot, ci.ReplicaFailed)
 				}
 			}
 			ent.Commit++
 			p.spawnReplicas(ent)
+			p.activateEntry(ent)
 		}
 	}
 

@@ -149,14 +149,14 @@ func (p *Proc) recoverBranch(idx int) {
 // replica seeds can be invalidated.
 func (p *Proc) squashAfter(idx int) {
 	keepSeq := p.rob[idx].seq
-	clear(p.freedRegs)
+	p.clearFreed()
 
 	// The discarded instructions' speculative branch-history shifts
 	// must be undone: restore the snapshot of the oldest discarded
 	// instruction. The fetch buffer is younger than everything in the
 	// ROB, so any squashed ROB entry's snapshot supersedes it.
-	if len(p.fetchQ) > 0 {
-		p.bp.RestoreHistory(p.fetchQ[0].histSnapshot)
+	if p.fetchLen() > 0 {
+		p.bp.RestoreHistory(p.fetchFront().histSnapshot)
 	}
 
 	i := p.robIndexBefore(p.robTail)
@@ -168,7 +168,7 @@ func (p *Proc) squashAfter(idx int) {
 		if e.hasDest {
 			p.ren[e.logDest] = e.oldRen
 			p.rf.Release(e.physDest)
-			p.freedRegs[e.physDest] = struct{}{}
+			p.noteFreed(e.physDest)
 		}
 		p.bp.RestoreHistory(e.histSnapshot)
 		e.valid = false
@@ -191,7 +191,7 @@ func (p *Proc) squashAfter(idx int) {
 	if p.nrbq != nil {
 		p.nrbq.SquashYoungerThan(keepSeq)
 	}
-	p.fetchQ = p.fetchQ[:0]
+	p.fetchClear()
 	// Entries created by squashed (wrong-path) instructions survive —
 	// "no speculative vectorized instruction is squashed" (§2.4.4).
 	// Stale state they may carry is caught piecemeal: broken recurrence
@@ -204,19 +204,23 @@ func (p *Proc) squashAfter(idx int) {
 // was just released; their replica 0 can no longer produce a value. The
 // watch list is compacted as seeds resolve.
 func (p *Proc) failBrokenSeeds() {
-	if len(p.seedWatch) == 0 || len(p.freedRegs) == 0 {
+	if len(p.seedWatch) == 0 || p.freedCount == 0 {
 		return
 	}
 	live := p.seedWatch[:0]
-	for _, ent := range p.seedWatch {
-		if !ent.Valid || ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0 {
+	for _, ref := range p.seedWatch {
+		if !ref.live() {
 			continue
 		}
-		if _, gone := p.freedRegs[ent.SeedPhys]; gone {
+		ent := ref.ent
+		if ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0 {
+			continue
+		}
+		if p.wasFreed(ent.SeedPhys) {
 			ent.SeedBroken = true
 			continue
 		}
-		live = append(live, ent)
+		live = append(live, ref)
 	}
 	p.seedWatch = live
 }

@@ -235,6 +235,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: replicas %d out of range", c.Replicas)
 	case c.StridedPCsPerEntry < 1:
 		return fmt.Errorf("core: need at least one strided PC per rename entry")
+	case c.StridedPCsPerEntry > maxStridedPCs:
+		return fmt.Errorf("core: at most %d strided PCs per rename entry", maxStridedPCs)
 	}
 	return nil
 }

@@ -15,7 +15,7 @@ func (p *Proc) fetchStage() {
 	if p.fetchHalted || p.cycle < p.fetchStallUntil {
 		return
 	}
-	if len(p.fetchQ) >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
+	if p.fetchLen() >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
 		return
 	}
 	lat := p.hier.FetchAccess(uint64(p.fetchPC) * instBytes)
@@ -50,7 +50,7 @@ func (p *Proc) fetchStage() {
 			p.fetchQ = append(p.fetchQ, f)
 			p.fetchPC++
 		}
-		if len(p.fetchQ) >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
+		if p.fetchLen() >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
 			return
 		}
 	}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/bits"
+	"testing"
+
+	"civect/internal/ci"
+	"civect/internal/workload"
+)
+
+// checkReplicaInvariants verifies the bookkeeping the hot path relies
+// on instead of rescanning: the worklist holds exactly one live ref per
+// Listed incarnation, and every entry's Pending/Issue/ActiveMask agree
+// with a full scan of its replica ring.
+func checkReplicaInvariants(t *testing.T, p *Proc) {
+	t.Helper()
+	if p.srsmt == nil {
+		return
+	}
+
+	liveRefs := make(map[*ci.Entry]int)
+	for _, ref := range p.activeEntries {
+		if !ref.live() {
+			continue
+		}
+		liveRefs[ref.ent]++
+		if n := liveRefs[ref.ent]; n > 1 {
+			t.Fatalf("cycle %d: entry pc=%d listed %d times (duplicate arbitration turns)",
+				p.cycle, ref.ent.PC, n)
+		}
+		if !ref.ent.Listed {
+			t.Fatalf("cycle %d: live worklist ref for pc=%d but entry not marked Listed", p.cycle, ref.ent.PC)
+		}
+		if ref.stamp != ref.ent.Stamp {
+			t.Fatalf("cycle %d: worklist stamp %d != entry stamp %d", p.cycle, ref.stamp, ref.ent.Stamp)
+		}
+	}
+
+	p.srsmt.ForEachValid(func(ent *ci.Entry) bool {
+		pending, issued := 0, 0
+		var mask uint64
+		for i := range ent.Replicas {
+			s := &ent.Replicas[i]
+			if s.Abs < 0 {
+				continue
+			}
+			switch s.State {
+			case ci.ReplicaWaiting:
+				pending++
+				mask |= 1 << uint(i&63)
+			case ci.ReplicaIssued:
+				pending++
+				issued++
+				mask |= 1 << uint(i&63)
+			}
+		}
+		if pending != ent.Pending {
+			t.Fatalf("cycle %d: pc=%d Pending=%d, ring scan says %d", p.cycle, ent.PC, ent.Pending, pending)
+		}
+		if issued != ent.Issue {
+			t.Fatalf("cycle %d: pc=%d Issue=%d, ring scan says %d", p.cycle, ent.PC, ent.Issue, issued)
+		}
+		if len(ent.Replicas) <= 64 && mask != ent.ActiveMask {
+			t.Fatalf("cycle %d: pc=%d ActiveMask=%b, ring scan says %b", p.cycle, ent.PC, ent.ActiveMask, mask)
+		}
+		if wantListed := ent.Listed; (liveRefs[ent] == 1) != wantListed {
+			t.Fatalf("cycle %d: pc=%d Listed=%v but %d live refs", p.cycle, ent.PC, wantListed, liveRefs[ent])
+		}
+		// A parked entry must have genuinely nothing to do: pending work,
+		// an unresolved seed or an unfilled batch all require a listing,
+		// or the worklist would never process them again.
+		if !ent.Listed {
+			seedResolved := ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0
+			if ent.Pending > 0 || !seedResolved || ent.Alloc-ent.Decode < ent.NRegs {
+				t.Fatalf("cycle %d: pc=%d parked with work: pending=%d seedResolved=%v alloc=%d decode=%d nregs=%d",
+					p.cycle, ent.PC, ent.Pending, seedResolved, ent.Alloc, ent.Decode, ent.NRegs)
+			}
+		}
+		if n := len(ent.Replicas); n&(n-1) != 0 {
+			t.Fatalf("pc=%d ring size %d not a power of two", ent.PC, n)
+		}
+		_ = bits.OnesCount64(mask)
+		return true
+	})
+}
+
+// TestWorklistInvariants steps vectorizing pipelines cycle by cycle and
+// re-derives the worklist bookkeeping from scratch at intervals.
+func TestWorklistInvariants(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"ci", DefaultConfig(ModeCI)},
+		{"vect", DefaultConfig(ModeVect)},
+		{"ci-specmem", func() Config {
+			c := DefaultConfig(ModeCI)
+			c.SpecMemSize = 768
+			return c
+		}()},
+		{"ci-8rep", func() Config {
+			c := DefaultConfig(ModeCI)
+			c.Replicas = 8
+			return c
+		}()},
+	}
+	for _, tc := range configs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			wl, err := workload.Spec("gcc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := tc.cfg
+			cfg.MaxInstr = 12_000
+			p, err := New(cfg, wl.Program, wl.NewMem())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for !p.halted && p.Stats.Committed < cfg.MaxInstr && p.cycle < 2_000_000 {
+				p.step()
+				if p.cycle%64 == 0 {
+					checkReplicaInvariants(t, p)
+				}
+			}
+			checkReplicaInvariants(t, p)
+			if p.Stats.Committed < cfg.MaxInstr {
+				t.Fatalf("pipeline stalled: committed %d of %d", p.Stats.Committed, cfg.MaxInstr)
+			}
+		})
+	}
+}
+
+// TestStridedPCsCap ensures the inline rename-entry list bound is
+// enforced at configuration time.
+func TestStridedPCsCap(t *testing.T) {
+	cfg := DefaultConfig(ModeCI)
+	cfg.StridedPCsPerEntry = maxStridedPCs
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("StridedPCsPerEntry=%d must validate: %v", maxStridedPCs, err)
+	}
+	cfg.StridedPCsPerEntry = maxStridedPCs + 1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("StridedPCsPerEntry beyond the inline bound must be rejected")
+	}
+}

@@ -22,6 +22,11 @@ const (
 	stValidPend                  // SRSMT-validated, waiting for its replica value
 )
 
+// maxStridedPCs bounds Config.StridedPCsPerEntry so the stridedPC list
+// fits inline in every rename entry (Figure 4 sweeps 1/2/4); renaming
+// then never allocates for slice propagation.
+const maxStridedPCs = 4
+
 // renEntry is one rename-map entry, including the paper's extensions:
 // the stridedPC list (§2.3.2) and the V/S bit plus producer sequence of
 // Figure 7.
@@ -40,11 +45,15 @@ type renEntry struct {
 	vec    bool
 	vecPC  uint64
 	vecGen uint64
-	// stridedPCs lists the confident strided-load PCs in the value's
-	// backward slice (capped at Config.StridedPCsPerEntry). The slice
-	// is treated as immutable once assigned.
-	stridedPCs []uint64
+	// stridedPCs[:nStrided] lists the confident strided-load PCs in the
+	// value's backward slice (capped at Config.StridedPCsPerEntry). The
+	// list is stored inline so rename-map snapshots are plain copies.
+	stridedPCs [maxStridedPCs]uint64
+	nStrided   uint8
 }
+
+// strided returns the live portion of the stridedPC list.
+func (r *renEntry) strided() []uint64 { return r.stridedPCs[:r.nStrided] }
 
 // robEntry is one in-flight instruction.
 type robEntry struct {
@@ -125,6 +134,23 @@ type waitRef struct {
 	seq uint64
 }
 
+// entryRef identifies one incarnation of an SRSMT way on a worklist.
+// Ways are recycled in place (Invalidate + Init), so a bare pointer is
+// ambiguous: a stale listing would alias the way's next incarnation and
+// give it two turns per cycle at replica arbitration. The generation
+// pins the listing to the incarnation that was enqueued.
+type entryRef struct {
+	ent *ci.Entry
+	gen uint64
+	// stamp snapshots ent.Stamp at insertion; the worklist is kept
+	// sorted by it (see activateEntry).
+	stamp uint64
+}
+
+// live reports whether the listing still refers to the incarnation it
+// was created for.
+func (r entryRef) live() bool { return r.ent.Valid && r.ent.Gen == r.gen }
+
 // Proc is the processor. Create one with New, run with Run.
 type Proc struct {
 	cfg  Config
@@ -154,7 +180,11 @@ type Proc struct {
 	fetchPC         int
 	fetchHalted     bool
 	fetchStallUntil uint64
-	fetchQ          []fetchedInstr
+	// fetchQ is consumed from fetchQHead instead of re-slicing from the
+	// front, so renaming does not memmove the buffer per instruction;
+	// fetchLen/fetchFront/fetchPop are the accessors.
+	fetchQ     []fetchedInstr
+	fetchQHead int
 
 	hier *cache.Hierarchy
 	bp   *bpred.Gshare
@@ -164,11 +194,14 @@ type Proc struct {
 	nrbq  *ci.NRBQ
 	crp   ci.CRP
 	srsmt *ci.SRSMT
-	// activeEntries lists SRSMT entries with replica work pending.
-	activeEntries []*ci.Entry
+	// activeEntries lists SRSMT entry incarnations with replica work
+	// pending, sorted by creation stamp (arbitration order).
+	activeEntries []entryRef
+	// entryStamp numbers entry incarnations in creation order.
+	entryStamp uint64
 	// seedWatch lists entries whose recurrence seed register has not
 	// produced yet; commit- and squash-time register frees consult it.
-	seedWatch []*ci.Entry
+	seedWatch []entryRef
 
 	// Episode statistics (Figure 5).
 	episodeOpen     bool
@@ -179,9 +212,22 @@ type Proc struct {
 	// several loop iterations can be reused), plus the remap from
 	// captured wrong-path producer seqs to their reused correct-path
 	// reincarnations (so dependence chains of reused instructions
-	// cascade).
-	iwTable map[int][]iwReuse
-	iwRemap map[uint64]uint64
+	// cascade). The table is dense — indexed by PC, with iwHead the
+	// per-PC consumption cursor and iwPCs/iwLive tracking occupancy so
+	// each capture clears only what it wrote. The remap is two parallel
+	// append-only slices reset at each capture; both replace the maps a
+	// profile showed on the rename hot path.
+	iwTable     [][]iwReuse
+	iwHead      []int
+	iwPCs       []int
+	iwLive      int
+	iwRemapFrom []uint64
+	iwRemapTo   []uint64
+	// iwChain is captureIW's physDest→value scratch, epoch-stamped so a
+	// capture starts empty without clearing.
+	iwChainVal   []uint64
+	iwChainMark  []uint64
+	iwChainEpoch uint64
 
 	// Scheduler lists: dispatched-not-issued, executing, and
 	// validation-pending ROB entries.
@@ -195,9 +241,15 @@ type Proc struct {
 
 	// Scratch buffers reused across cycles.
 	srcScratch  []isa.Reg
-	freedRegs   map[int]struct{}
 	pcScratch   []uint64
 	lsqFiltered []int
+
+	// freedMark is the freed-register set consulted by failBrokenSeeds,
+	// epoch-stamped per physical register: register r is in the set iff
+	// freedMark[r] == freedEpoch, so clearing is one increment.
+	freedMark  []uint64
+	freedEpoch uint64
+	freedCount int
 
 	Stats Stats
 }
@@ -236,10 +288,11 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 		p.srsmt = ci.NewSRSMT(cfg.SRSMTSets, cfg.SRSMTAssoc)
 	}
 	if cfg.Mode == ModeCIIW {
-		p.iwTable = make(map[int][]iwReuse)
-		p.iwRemap = make(map[uint64]uint64)
+		p.iwTable = make([][]iwReuse, prog.Len())
+		p.iwHead = make([]int, prog.Len())
 	}
-	p.freedRegs = make(map[int]struct{})
+	// Epoch 0 would make the zero-valued freedMark read as all-freed.
+	p.freedEpoch = 1
 	if cfg.SpecMemSize > 0 && cfg.Mode.Vectorizes() {
 		p.sm = regfile.NewSpecMem(cfg.SpecMemSize, cfg.SpecMemLat)
 	}
@@ -370,6 +423,53 @@ func (p *Proc) lsqRemove(robIdx int) {
 			return
 		}
 	}
+}
+
+// fetchLen returns the number of buffered fetched instructions.
+func (p *Proc) fetchLen() int { return len(p.fetchQ) - p.fetchQHead }
+
+// fetchFront returns the oldest buffered instruction.
+func (p *Proc) fetchFront() *fetchedInstr { return &p.fetchQ[p.fetchQHead] }
+
+// fetchPop consumes the oldest buffered instruction, compacting the
+// buffer when the dead prefix gets large so growth stays bounded.
+func (p *Proc) fetchPop() {
+	p.fetchQHead++
+	if p.fetchQHead == len(p.fetchQ) {
+		p.fetchQ = p.fetchQ[:0]
+		p.fetchQHead = 0
+	} else if p.fetchQHead >= 128 {
+		p.fetchQ = p.fetchQ[:copy(p.fetchQ, p.fetchQ[p.fetchQHead:])]
+		p.fetchQHead = 0
+	}
+}
+
+// fetchClear empties the fetch buffer (squash).
+func (p *Proc) fetchClear() {
+	p.fetchQ = p.fetchQ[:0]
+	p.fetchQHead = 0
+}
+
+// clearFreed empties the freed-register set (one epoch bump).
+func (p *Proc) clearFreed() {
+	p.freedEpoch++
+	p.freedCount = 0
+}
+
+// noteFreed adds a physical register to the freed set.
+func (p *Proc) noteFreed(reg int) {
+	if reg >= len(p.freedMark) {
+		grown := make([]uint64, max(2*len(p.freedMark), reg+64))
+		copy(grown, p.freedMark)
+		p.freedMark = grown
+	}
+	p.freedMark[reg] = p.freedEpoch
+	p.freedCount++
+}
+
+// wasFreed reports membership in the freed set.
+func (p *Proc) wasFreed(reg int) bool {
+	return reg < len(p.freedMark) && p.freedMark[reg] == p.freedEpoch
 }
 
 func (p *Proc) closeEpisode() {

@@ -16,14 +16,14 @@ import (
 // squash-reuse matching (ci-iw), and the vectorization triggers
 // (§2.3.3).
 func (p *Proc) renameStage() {
-	for n := 0; n < p.cfg.DecodeWidth && len(p.fetchQ) > 0; n++ {
-		if p.fetchQ[0].readyAt > p.cycle {
+	for n := 0; n < p.cfg.DecodeWidth && p.fetchLen() > 0; n++ {
+		if p.fetchFront().readyAt > p.cycle {
 			return // still in the decode stages
 		}
-		if !p.tryRename(&p.fetchQ[0]) {
+		if !p.tryRename(p.fetchFront()) {
 			return
 		}
-		p.fetchQ = p.fetchQ[:copy(p.fetchQ, p.fetchQ[1:])]
+		p.fetchPop()
 	}
 }
 
@@ -92,7 +92,7 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 				// Select the strided loads in the backward slice for
 				// speculative vectorization (set the S flag, §2.3.2).
 				for _, r := range srcs {
-					for _, lpc := range p.ren[r].stridedPCs {
+					for _, lpc := range p.ren[r].strided() {
 						if se := p.sp.Lookup(lpc); se != nil {
 							se.S = true
 						}
@@ -118,9 +118,9 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	// Squash reuse (ModeCIIW): a control-independent wrong-path result
 	// kept across the last recovery can be reused if the operands still
 	// come from the same dynamic producers.
-	if p.iwTable != nil && hasDest && len(p.iwTable) > 0 {
-		if recs, ok := p.iwTable[f.pc]; ok && len(recs) > 0 && recs[0].nsrc == e.nsrc {
-			r := recs[0]
+	if p.iwLive > 0 && hasDest {
+		if recs, head := p.iwTable[f.pc], p.iwHead[f.pc]; head < len(recs) && recs[head].nsrc == e.nsrc {
+			r := recs[head]
 			match := true
 			for i := 0; i < e.nsrc; i++ {
 				if e.srcWriterSeq[i] == r.writerSeq[i] {
@@ -129,19 +129,17 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 				// The recorded producer may itself have been reused:
 				// its correct-path reincarnation produced the same
 				// value, so the chain remains valid.
-				if remapped, ok := p.iwRemap[r.writerSeq[i]]; ok && remapped == e.srcWriterSeq[i] {
+				if rm := p.iwRemapped(r.writerSeq[i]); rm != 0 && rm == e.srcWriterSeq[i] {
 					continue
 				}
 				match = false
 				break
 			}
 			if match {
-				if len(recs) == 1 {
-					delete(p.iwTable, f.pc)
-				} else {
-					p.iwTable[f.pc] = recs[1:]
-				}
-				p.iwRemap[r.seq] = e.seq
+				p.iwHead[f.pc]++
+				p.iwLive--
+				p.iwRemapFrom = append(p.iwRemapFrom, r.seq)
+				p.iwRemapTo = append(p.iwRemapTo, e.seq)
 				e.reuseIW = true
 				e.value = r.value
 				p.episodeReused = true
@@ -187,7 +185,7 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 			nre.vecPC = uint64(f.pc)
 			nre.vecGen = e.valGen
 		}
-		nre.stridedPCs = p.propagateStridedPCs(f.pc, in, srcs, srcSnap[:e.nsrc])
+		p.propagateStridedPCs(&nre, f.pc, in, srcSnap[:e.nsrc])
 		p.ren[dest] = nre
 	}
 
@@ -224,44 +222,82 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	return true
 }
 
-// propagateStridedPCs computes the stridedPC list for a newly renamed
-// destination (§2.3.2): loads with a confident stride predictor entry
-// start a list with their own PC; arithmetic instructions propagate the
-// union of their sources' lists, capped at StridedPCsPerEntry.
-func (p *Proc) propagateStridedPCs(pc int, in isa.Instr, srcs []isa.Reg, snap []renEntry) []uint64 {
+// iwRemapped returns the correct-path reincarnation recorded for a
+// captured wrong-path producer seq, or 0 when there is none (dynamic
+// seqs start at 1). The remap is small — one pair per reuse since the
+// last capture — so a linear scan beats a map here.
+func (p *Proc) iwRemapped(seq uint64) uint64 {
+	for i, from := range p.iwRemapFrom {
+		if from == seq {
+			return p.iwRemapTo[i]
+		}
+	}
+	return 0
+}
+
+// propagateStridedPCs fills nre's stridedPC list (§2.3.2): loads with a
+// confident stride predictor entry start a list with their own PC;
+// arithmetic instructions propagate the union of their sources' lists,
+// capped at StridedPCsPerEntry. The union is built in-place; nothing
+// escapes to the heap.
+func (p *Proc) propagateStridedPCs(nre *renEntry, pc int, in isa.Instr, snap []renEntry) {
 	if in.IsLoad() {
 		if se := p.sp.Lookup(uint64(pc)); se != nil && se.Confident() && se.Stride != 0 {
 			p.Stats.StridedPCsSum++
 			p.Stats.StridedPCsCount++
-			return []uint64{uint64(pc)}
+			nre.stridedPCs[0] = uint64(pc)
+			nre.nStrided = 1
 		}
-		return nil
+		return
 	}
-	u := p.pcScratch[:0]
-	for i := range srcs {
-		for _, lpc := range snap[i].stridedPCs {
-			dup := false
-			for _, have := range u {
-				if have == lpc {
-					dup = true
-					break
-				}
+	// Fast paths: no strided source, or a single strided source whose
+	// list (already deduplicated and capped when it was built) is the
+	// union. The branches stay separate so the source snapshots never
+	// flow into a stored slice — that would make every rename's stack
+	// snapshot escape to the heap.
+	na, nb := 0, 0
+	if len(snap) > 0 {
+		na = int(snap[0].nStrided)
+	}
+	if len(snap) > 1 {
+		nb = int(snap[1].nStrided)
+	}
+	switch {
+	case na == 0 && nb == 0:
+		return
+	case nb == 0:
+		p.finishStridedPCs(nre, snap[0].strided())
+		return
+	case na == 0:
+		p.finishStridedPCs(nre, snap[1].strided())
+		return
+	}
+	// The union counts every distinct PC for the Figure 4 average, even
+	// beyond the propagation cap.
+	u := append(p.pcScratch[:0], snap[0].strided()...)
+	for _, lpc := range snap[1].strided() {
+		dup := false
+		for _, have := range u {
+			if have == lpc {
+				dup = true
+				break
 			}
-			if !dup {
-				u = append(u, lpc)
-			}
+		}
+		if !dup {
+			u = append(u, lpc)
 		}
 	}
 	p.pcScratch = u[:0]
-	if len(u) == 0 {
-		return nil
-	}
+	p.finishStridedPCs(nre, u)
+}
+
+// finishStridedPCs records the union statistics and stores the capped
+// list inline in the rename entry.
+func (p *Proc) finishStridedPCs(nre *renEntry, u []uint64) {
 	p.Stats.StridedPCsSum += uint64(len(u))
 	p.Stats.StridedPCsCount++
 	if len(u) > p.cfg.StridedPCsPerEntry {
 		u = u[:p.cfg.StridedPCsPerEntry]
 	}
-	out := make([]uint64, len(u))
-	copy(out, u)
-	return out
+	nre.nStrided = uint8(copy(nre.stridedPCs[:], u))
 }

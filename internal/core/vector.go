@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"os"
 
 	"civect/internal/ci"
@@ -101,6 +102,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 		// when the commit cursor passes it.)
 		ent.Decode++
 		p.srsmt.Touch(ent)
+		p.activateEntry(ent)
 		p.Stats.ValNoReplica++
 		if debugTrace {
 			fmt.Fprintf(os.Stderr, "[%d] noreplica pc=%d decode=%d alloc=%d commit=%d\n", p.cycle, e.pc, ent.Decode-1, ent.Alloc, ent.Commit)
@@ -118,6 +120,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 	ent.Decode++
 	p.srsmt.Touch(ent)
 	p.spawnReplicas(ent)
+	p.activateEntry(ent)
 	return valOK
 }
 
@@ -168,8 +171,41 @@ func (p *Proc) maybeVectorizeLoad(pc int, in isa.Instr, addr uint64, creatorSeq 
 	if debugTrace {
 		fmt.Fprintf(os.Stderr, "[%d] create-load pc=%d skip=%d\n", p.cycle, pc, skip)
 	}
-	p.activeEntries = append(p.activeEntries, ent)
+	p.enlistNew(ent)
 	p.spawnReplicas(ent)
+}
+
+// enlistNew stamps a freshly created entry incarnation and appends it
+// to the active worklist (stamps are monotonic, so appending keeps the
+// list sorted).
+func (p *Proc) enlistNew(ent *ci.Entry) {
+	p.entryStamp++
+	ent.Stamp = p.entryStamp
+	ent.Listed = true
+	p.activeEntries = append(p.activeEntries, entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp})
+}
+
+// activateEntry re-inserts a parked entry into the worklist at its
+// stamp position, so it competes for replica issue bandwidth exactly
+// where a never-parked scan would have placed it. Call it after any
+// cursor movement that can create replica work.
+func (p *Proc) activateEntry(ent *ci.Entry) {
+	if ent.Listed || !ent.Valid {
+		return
+	}
+	ent.Listed = true
+	i, j := 0, len(p.activeEntries)
+	for i < j {
+		m := (i + j) / 2
+		if p.activeEntries[m].stamp < ent.Stamp {
+			i = m + 1
+		} else {
+			j = m
+		}
+	}
+	p.activeEntries = append(p.activeEntries, entryRef{})
+	copy(p.activeEntries[i+1:], p.activeEntries[i:])
+	p.activeEntries[i] = entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp}
 }
 
 // inflightInstances counts decoded dynamic instances of the static
@@ -230,7 +266,7 @@ func (p *Proc) maybeVectorizeArith(pc int, in isa.Instr, snap []renEntry, destPh
 			if prod == nil || prod.Gen != sn.vecGen {
 				return // producer entry is gone; nothing to chain to
 			}
-			refs[i] = ci.OperandRef{Kind: ci.OperandVec, PC: sn.vecPC, Gen: sn.vecGen, Base: prod.Decode}
+			refs[i] = ci.OperandRef{Kind: ci.OperandVec, PC: sn.vecPC, Gen: sn.vecGen, Prod: prod, Base: prod.Decode}
 		default:
 			if !p.rf.Ready(sn.phys) {
 				// The paper stalls decode until the scalar value is
@@ -251,6 +287,7 @@ func (p *Proc) maybeVectorizeArith(pc int, in isa.Instr, snap []renEntry, destPh
 	}
 	ent := p.srsmt.Init(w, uint64(pc), in)
 	ent.Src1, ent.Src2 = refs[0], refs[1]
+	ent.NSrc = uint8(len(srcs))
 	ent.CreatorSeq = creatorSeq
 	ent.SeedPhys = -1
 	if seedPhys >= 0 {
@@ -265,25 +302,26 @@ func (p *Proc) maybeVectorizeArith(pc int, in isa.Instr, snap []renEntry, destPh
 			ent.SeedCaptured = true
 		} else {
 			ent.SeedPhys = seedPhys
-			p.seedWatch = append(p.seedWatch, ent)
+			p.seedWatch = append(p.seedWatch, entryRef{ent: ent, gen: ent.Gen})
 		}
 	} else {
 		ent.SeedCaptured = true
 	}
 	p.initReplicaRing(ent)
 	p.Stats.VectorizedEntries++
-	p.activeEntries = append(p.activeEntries, ent)
+	p.enlistNew(ent)
 	p.spawnReplicas(ent)
 }
 
 func (p *Proc) initReplicaRing(ent *ci.Entry) {
 	ent.NRegs = p.cfg.Replicas
-	ent.Replicas = make([]ci.Replica, 2*p.cfg.Replicas)
-	for i := range ent.Replicas {
-		ent.Replicas[i].Abs = -1
-		ent.Replicas[i].Dest = -1
-	}
+	ent.InitRing(2 * p.cfg.Replicas)
 }
+
+// needSpawn reports whether the batch is below its batch-ahead bound
+// (the cheap guard call sites use before paying for spawnReplicas; the
+// Alloc<Decode case is the cursor fixup spawnReplicas performs).
+func needSpawn(ent *ci.Entry) bool { return ent.Alloc-ent.Decode < ent.NRegs }
 
 // spawnReplicas allocates replica instances up to the batch-ahead bound
 // (NRegs past the Decode cursor), storage permitting. "In the case that
@@ -316,7 +354,7 @@ func (p *Proc) spawnReplicas(ent *ci.Entry) {
 			}
 			dest = d
 		}
-		slot := &ent.Replicas[ent.Alloc%len(ent.Replicas)]
+		slot := &ent.Replicas[ent.Alloc&(len(ent.Replicas)-1)]
 		// The ring slot may still hold a stale pre-Commit replica
 		// (e.g. one skipped by the Decode cursor): release its
 		// resources before reuse.
@@ -330,6 +368,12 @@ func (p *Proc) spawnReplicas(ent *ci.Entry) {
 		if slot.State == ci.ReplicaIssued {
 			ent.Issue--
 		}
+		// The new occupant is Waiting; count it unless the old occupant
+		// was already Waiting/Issued (unused slots have Abs < 0).
+		if slot.Abs < 0 || slot.State == ci.ReplicaDone || slot.State == ci.ReplicaFailed {
+			ent.Pending++
+		}
+		ent.ActiveMask |= 1 << (uint(ent.Alloc) & uint(len(ent.Replicas)-1) & 63)
 		*slot = ci.Replica{State: ci.ReplicaWaiting, Abs: ent.Alloc, Dest: dest}
 		if ent.IsLoad {
 			slot.Addr = ent.BatchBase + uint64(ent.Stride*int64(ent.Alloc+1))
@@ -394,8 +438,10 @@ const (
 	inputFail
 )
 
-// resolveReplicaInput produces the value of one replica operand.
-func (p *Proc) resolveReplicaInput(ent *ci.Entry, ref ci.OperandRef, abs int) (uint64, inputStatus) {
+// resolveReplicaInput produces the value of one replica operand. The
+// ref is taken by pointer: it is called for every waiting replica every
+// cycle, and the OperandRef copy showed up in profiles.
+func (p *Proc) resolveReplicaInput(ent *ci.Entry, ref *ci.OperandRef, abs int) (uint64, inputStatus) {
 	switch ref.Kind {
 	case ci.OperandScalar:
 		return ref.Value, inputReady
@@ -422,8 +468,8 @@ func (p *Proc) resolveReplicaInput(ent *ci.Entry, ref ci.OperandRef, abs int) (u
 			return 0, inputWait
 		}
 	case ci.OperandVec:
-		prod := p.srsmt.Lookup(ref.PC)
-		if prod == nil || prod.Gen != ref.Gen {
+		prod := ref.Prod
+		if prod == nil || !prod.Valid || prod.Gen != ref.Gen {
 			return 0, inputFail
 		}
 		pabs := ref.Base + abs
@@ -456,42 +502,76 @@ func (p *Proc) replicaTick() {
 		return
 	}
 	live := p.activeEntries[:0]
-	for _, ent := range p.activeEntries {
-		if !ent.Valid {
-			continue
+	for _, ref := range p.activeEntries {
+		if !ref.live() {
+			continue // the incarnation died; drop the listing
+		}
+		ent := ref.ent
+		// Steady-state fast paths. An entry with no issued replica to
+		// complete, the seed resolved and a full batch either has
+		// nothing at all left (park it — validation and commit cursor
+		// movement call activateEntry to bring it back), or only
+		// waiting replicas an exhausted issue budget cannot serve this
+		// cycle (skip the scan, keep it listed).
+		if ent.Issue == 0 &&
+			(ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0) &&
+			ent.Alloc-ent.Decode >= ent.NRegs {
+			if ent.Pending == 0 {
+				ent.Listed = false
+				continue
+			}
+			if p.issueBudget <= 0 {
+				live = append(live, ref)
+				continue
+			}
 		}
 		p.captureSeed(ent)
 
-		for i := range ent.Replicas {
-			slot := &ent.Replicas[i]
-			if slot.Abs < 0 {
-				continue
+		if len(ent.Replicas) <= 64 {
+			// Visit only actionable (Waiting/Issued) slots, in the same
+			// ascending ring-index order as a full scan.
+			for m := ent.ActiveMask; m != 0; m &= m - 1 {
+				p.replicaSlotTick(ent, &ent.Replicas[bits.TrailingZeros64(m)])
 			}
-			switch slot.State {
-			case ci.ReplicaIssued:
-				if slot.DoneAt <= p.cycle {
-					if p.sm != nil {
-						if slot.Dest < 0 || !p.sm.TryWrite(slot.Dest, slot.Value) {
-							continue // retry next cycle (write ports busy)
-						}
-					} else if slot.Dest >= 0 {
-						p.rf.Write(slot.Dest, slot.Value)
-					}
-					slot.State = ci.ReplicaDone
-					ent.Issue--
+		} else {
+			for i := range ent.Replicas {
+				if ent.Replicas[i].Abs < 0 {
+					continue
 				}
-			case ci.ReplicaWaiting:
-				// Issue replicas the pipeline can still consume: those
-				// at or past the commit cursor (earlier ones are dead).
-				if slot.Abs >= ent.Commit && slot.Dest >= 0 && p.issueBudget > 0 {
-					p.tryIssueReplica(ent, slot.Abs, slot)
-				}
+				p.replicaSlotTick(ent, &ent.Replicas[i])
 			}
 		}
-		p.spawnReplicas(ent)
-		live = append(live, ent)
+		if needSpawn(ent) {
+			p.spawnReplicas(ent)
+		}
+		live = append(live, ref)
 	}
 	p.activeEntries = live
+}
+
+// replicaSlotTick advances one actionable ring slot: completing it if
+// issued and due, or attempting issue if waiting and consumable.
+func (p *Proc) replicaSlotTick(ent *ci.Entry, slot *ci.Replica) {
+	switch slot.State {
+	case ci.ReplicaIssued:
+		if slot.DoneAt <= p.cycle {
+			if p.sm != nil {
+				if slot.Dest < 0 || !p.sm.TryWrite(slot.Dest, slot.Value) {
+					return // retry next cycle (write ports busy)
+				}
+			} else if slot.Dest >= 0 {
+				p.rf.Write(slot.Dest, slot.Value)
+			}
+			ent.Settle(slot, ci.ReplicaDone)
+			ent.Issue--
+		}
+	case ci.ReplicaWaiting:
+		// Issue replicas the pipeline can still consume: those at or
+		// past the commit cursor (earlier ones are dead).
+		if slot.Abs >= ent.Commit && slot.Dest >= 0 && p.issueBudget > 0 {
+			p.tryIssueReplica(ent, slot.Abs, slot)
+		}
+	}
 }
 
 // captureSeed latches a pending OperandSelf seed value once its
@@ -534,14 +614,14 @@ func (p *Proc) tryIssueReplica(ent *ci.Entry, abs int, slot *ci.Replica) {
 	}
 
 	in := ent.Instr
-	nsrc := len(in.SrcRegs(p.srcScratch[:0]))
-	refs := [2]ci.OperandRef{ent.Src1, ent.Src2}
+	nsrc := int(ent.NSrc)
+	refs := [2]*ci.OperandRef{&ent.Src1, &ent.Src2}
 	var vals [2]uint64
 	for i := 0; i < nsrc; i++ {
 		v, st := p.resolveReplicaInput(ent, refs[i], abs)
 		switch st {
 		case inputFail:
-			slot.State = ci.ReplicaFailed
+			ent.Settle(slot, ci.ReplicaFailed)
 			return
 		case inputWait:
 			return
@@ -685,6 +765,7 @@ func (p *Proc) resyncValidatedCursors() {
 			continue
 		}
 		ent.Decode++
+		p.activateEntry(ent)
 	}
 }
 

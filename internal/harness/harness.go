@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"civect/internal/core"
 	"civect/internal/workload"
@@ -58,13 +59,22 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Harness memoizes simulation runs across experiments.
+// Harness memoizes simulation runs across experiments. The semaphore
+// bounds simulations in flight regardless of how many experiments or
+// RunAll fan-outs share the harness, so Options.Workers is an
+// end-to-end concurrency bound.
 type Harness struct {
 	opt Options
 
 	mu    sync.Mutex
 	cache map[RunSpec]*core.Stats
 	sem   chan struct{}
+
+	// running/maxRunning observe the semaphore: how many simulations
+	// are executing now and the high-water mark. They back the -workers
+	// regression test and MaxConcurrent.
+	running    atomic.Int64
+	maxRunning atomic.Int64
 }
 
 // New builds a harness.
@@ -120,6 +130,14 @@ func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
 
 	h.sem <- struct{}{}
 	defer func() { <-h.sem }()
+	n := h.running.Add(1)
+	for {
+		max := h.maxRunning.Load()
+		if n <= max || h.maxRunning.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	defer h.running.Add(-1)
 
 	// Re-check: another worker may have filled it while we waited.
 	h.mu.Lock()
@@ -146,6 +164,34 @@ func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
 	h.cache[s] = st
 	h.mu.Unlock()
 	return st, nil
+}
+
+// MaxConcurrent returns the highest number of simulations that have
+// executed simultaneously on this harness (never above Options.Workers).
+func (h *Harness) MaxConcurrent() int { return int(h.maxRunning.Load()) }
+
+// RunExperiments runs experiments concurrently — each experiment in its
+// own goroutine, with the individual simulations still bounded by the
+// shared worker semaphore and memoized across experiments — and returns
+// their tables in input order. The first error wins.
+func RunExperiments(h *Harness, exps []Experiment) ([]*Table, error) {
+	tables := make([]*Table, len(exps))
+	errs := make([]error, len(exps))
+	var wg sync.WaitGroup
+	for i := range exps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tables[i], errs[i] = exps[i].Run(h)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exps[i].ID, err)
+		}
+	}
+	return tables, nil
 }
 
 // RunAll simulates one spec per benchmark in parallel and returns the

@@ -65,6 +65,60 @@ func TestRunAllParallel(t *testing.T) {
 	}
 }
 
+func TestWorkersOneSerializes(t *testing.T) {
+	opt := tinyOptions()
+	opt.Workers = 1
+	h := New(opt)
+	// Fan out over benchmarks and two concurrent experiments: plenty of
+	// parallel demand, all of which the semaphore must serialize.
+	if _, err := h.RunAll(RunSpec{Mode: core.ModeCI, Ports: 1, Regs: 256}); err != nil {
+		t.Fatal(err)
+	}
+	fig5, _ := ExperimentByID("fig5")
+	fig8, _ := ExperimentByID("fig8")
+	if _, err := RunExperiments(h, []Experiment{fig5, fig8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MaxConcurrent(); got != 1 {
+		t.Fatalf("Options.Workers=1 must serialize simulations; observed %d in flight", got)
+	}
+}
+
+func TestWorkersBoundRespected(t *testing.T) {
+	opt := tinyOptions()
+	opt.Workers = 2
+	h := New(opt)
+	if _, err := h.RunAll(RunSpec{Mode: core.ModeScalar, Ports: 1, Regs: 256}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.MaxConcurrent(); got > 2 {
+		t.Fatalf("Options.Workers=2 exceeded: observed %d in flight", got)
+	}
+}
+
+func TestRunExperimentsMatchesSerial(t *testing.T) {
+	par := New(tinyOptions())
+	fig5, _ := ExperimentByID("fig5")
+	cost, _ := ExperimentByID("cost")
+	tables, err := RunExperiments(par, []Experiment{cost, fig5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "cost" || tables[1].ID != "fig5" {
+		t.Fatalf("tables out of order: %+v", tables)
+	}
+	ser := New(tinyOptions())
+	for i, e := range []Experiment{cost, fig5} {
+		want, err := e.Run(ser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tables[i].String(); got != want.String() {
+			t.Errorf("%s: parallel table differs from serial:\n%s\n---\n%s", e.ID, got, want)
+		}
+	}
+}
+
 func TestHarmonicMean(t *testing.T) {
 	a := &core.Stats{Cycles: 100, Committed: 100} // IPC 1
 	b := &core.Stats{Cycles: 100, Committed: 300} // IPC 3

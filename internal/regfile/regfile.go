@@ -14,14 +14,21 @@ package regfile
 
 import "fmt"
 
+// reg is one physical register. Value, readiness and allocation state
+// live together so the hot Ready+Value pair costs one cache line, not
+// two array walks.
+type reg struct {
+	val     uint64
+	ready   bool
+	alloced bool
+}
+
 // File is a physical register file with a free list. Size <= 0 means
 // unbounded (the file grows on demand), matching the paper's "Inf"
 // configurations.
 type File struct {
 	bounded bool
-	vals    []uint64
-	ready   []bool
-	alloced []bool
+	regs    []reg
 	free    []int
 
 	inUse      int
@@ -34,9 +41,7 @@ type File struct {
 func NewFile(n int) *File {
 	f := &File{bounded: n > 0}
 	if n > 0 {
-		f.vals = make([]uint64, n)
-		f.ready = make([]bool, n)
-		f.alloced = make([]bool, n)
+		f.regs = make([]reg, n)
 		f.free = make([]int, n)
 		for i := range f.free {
 			f.free[i] = n - 1 - i // pop from the end -> ascending order
@@ -50,7 +55,7 @@ func (f *File) Size() int {
 	if !f.bounded {
 		return -1
 	}
-	return len(f.vals)
+	return len(f.regs)
 }
 
 // FreeCount returns how many registers are currently allocatable; it is
@@ -65,53 +70,49 @@ func (f *File) FreeCount() int {
 
 // Alloc takes a free register, marking it not-ready. ok is false when a
 // bounded file is exhausted.
-func (f *File) Alloc() (reg int, ok bool) {
+func (f *File) Alloc() (r int, ok bool) {
 	if len(f.free) == 0 {
 		if f.bounded {
 			return 0, false
 		}
-		f.vals = append(f.vals, 0)
-		f.ready = append(f.ready, false)
-		f.alloced = append(f.alloced, false)
-		f.free = append(f.free, len(f.vals)-1)
+		f.regs = append(f.regs, reg{})
+		f.free = append(f.free, len(f.regs)-1)
 	}
-	reg = f.free[len(f.free)-1]
+	r = f.free[len(f.free)-1]
 	f.free = f.free[:len(f.free)-1]
-	f.alloced[reg] = true
-	f.ready[reg] = false
-	f.vals[reg] = 0
+	f.regs[r] = reg{alloced: true}
 	f.inUse++
 	if f.inUse > f.peak {
 		f.peak = f.inUse
 	}
-	return reg, true
+	return r, true
 }
 
 // Release returns a register to the free list. Releasing a register that
 // is not allocated is a simulator bug and panics.
-func (f *File) Release(reg int) {
-	if !f.alloced[reg] {
-		panic(fmt.Sprintf("regfile: double free of p%d", reg))
+func (f *File) Release(r int) {
+	if !f.regs[r].alloced {
+		panic(fmt.Sprintf("regfile: double free of p%d", r))
 	}
-	f.alloced[reg] = false
-	f.free = append(f.free, reg)
+	f.regs[r].alloced = false
+	f.free = append(f.free, r)
 	f.inUse--
 }
 
 // Write sets the value and marks the register ready.
-func (f *File) Write(reg int, val uint64) {
-	f.vals[reg] = val
-	f.ready[reg] = true
+func (f *File) Write(r int, val uint64) {
+	f.regs[r].val = val
+	f.regs[r].ready = true
 }
 
 // Value reads a register's value.
-func (f *File) Value(reg int) uint64 { return f.vals[reg] }
+func (f *File) Value(r int) uint64 { return f.regs[r].val }
 
 // Ready reports whether the register's value has been produced.
-func (f *File) Ready(reg int) bool { return f.ready[reg] }
+func (f *File) Ready(r int) bool { return f.regs[r].ready }
 
 // Allocated reports whether the register is currently allocated.
-func (f *File) Allocated(reg int) bool { return reg < len(f.alloced) && f.alloced[reg] }
+func (f *File) Allocated(r int) bool { return r < len(f.regs) && f.regs[r].alloced }
 
 // InUse returns the number of currently allocated registers.
 func (f *File) InUse() int { return f.inUse }
