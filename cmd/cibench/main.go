@@ -1,43 +1,32 @@
 // Command cibench measures simulator throughput per machine mode and
-// writes a machine-readable baseline (BENCH_core.json by default), so
-// the performance trajectory of the hot path is tracked in-repo from
-// one change to the next.
+// benchmark tier and writes a machine-readable baseline
+// (BENCH_core.json by default), so the performance trajectory of the
+// hot path is tracked in-repo from one change to the next. cmd/cigate
+// compares a fresh run against the committed baseline in CI.
 //
 // Usage:
 //
-//	cibench                       # write BENCH_core.json
-//	cibench -o - -instr 100000    # print to stdout, bigger runs
+//	cibench                          # write BENCH_core.json (gcc + gcc.big)
+//	cibench -o - -instr 100000       # print to stdout, bigger runs
+//	cibench -bench gcc.big -o big.json
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
+	"civect/internal/benchfmt"
 	"civect/internal/core"
 	"civect/internal/workload"
 )
 
-// Result is one mode's measurement: simulator speed and allocation
-// behaviour for a fresh simulation of Instr committed instructions.
-type Result struct {
-	Mode            string  `json:"mode"`
-	Bench           string  `json:"bench"`
-	Instr           uint64  `json:"sim_instrs_per_run"`
-	NsPerOp         int64   `json:"ns_per_op"`
-	SimInstrsPerSec float64 `json:"sim_instrs_per_sec"`
-	BytesPerOp      int64   `json:"bytes_per_op"`
-	AllocsPerOp     int64   `json:"allocs_per_op"`
-	IPC             float64 `json:"ipc"`
-	ReuseFraction   float64 `json:"reuse_fraction"`
-}
-
-func measure(mode core.Mode, bench string, instr uint64) (Result, error) {
+func measure(mode core.Mode, bench string, instr uint64) (benchfmt.Result, error) {
 	wl, err := workload.Spec(bench)
 	if err != nil {
-		return Result{}, err
+		return benchfmt.Result{}, err
 	}
 	var st *core.Stats
 	var runErr error
@@ -58,10 +47,10 @@ func measure(mode core.Mode, bench string, instr uint64) (Result, error) {
 		}
 	})
 	if runErr != nil {
-		return Result{}, fmt.Errorf("%s/%v: %w", bench, mode, runErr)
+		return benchfmt.Result{}, fmt.Errorf("%s/%v: %w", bench, mode, runErr)
 	}
 	ns := br.NsPerOp()
-	return Result{
+	return benchfmt.Result{
 		Mode:            mode.String(),
 		Bench:           bench,
 		Instr:           instr,
@@ -76,29 +65,30 @@ func measure(mode core.Mode, bench string, instr uint64) (Result, error) {
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output path ('-' for stdout)")
-	bench := flag.String("bench", "gcc", "benchmark workload to simulate")
+	bench := flag.String("bench", "gcc,gcc.big", "comma-separated benchmark workloads (both tiers allowed)")
 	instr := flag.Uint64("instr", 30_000, "committed-instruction budget per simulation")
 	flag.Parse()
 
 	modes := []core.Mode{core.ModeScalar, core.ModeWideBus, core.ModeCI, core.ModeCIIW, core.ModeVect}
-	results := make([]Result, 0, len(modes))
-	for _, m := range modes {
-		r, err := measure(m, *bench, *instr)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
-			os.Exit(1)
+	var results []benchfmt.Result
+	for _, b := range strings.Split(*bench, ",") {
+		for _, m := range modes {
+			r, err := measure(m, b, *instr)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cibench: %-12s %-6s %8.0f sim-instrs/s  %8d B/op  %5d allocs/op\n",
+				r.Bench, r.Mode, r.SimInstrsPerSec, r.BytesPerOp, r.AllocsPerOp)
+			results = append(results, r)
 		}
-		fmt.Fprintf(os.Stderr, "cibench: %-6s %8.0f sim-instrs/s  %7d B/op  %5d allocs/op\n",
-			r.Mode, r.SimInstrsPerSec, r.BytesPerOp, r.AllocsPerOp)
-		results = append(results, r)
 	}
 
-	blob, err := json.MarshalIndent(results, "", "  ")
+	blob, err := benchfmt.Marshal(results)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
 		os.Exit(1)
 	}
-	blob = append(blob, '\n')
 	if *out == "-" {
 		os.Stdout.Write(blob)
 		return

@@ -5,11 +5,19 @@
 // the -workers flag bounds how many simulations may execute at once
 // across all of them.
 //
+// With -shard k/n the command runs only the k-th of n deterministic
+// partitions of the sweep's simulation cross-product and emits the raw
+// per-cell results as JSON; cmd/cimerge joins the shard files back
+// into the complete tables, byte-identical to an unsharded run. This
+// lets a CI farm (or several machines) split a full-budget sweep.
+//
 // Usage:
 //
 //	ciexp -exp fig9                 # one experiment
 //	ciexp -exp all -instr 500000    # everything, bigger samples
 //	ciexp -exp all -json            # machine-readable tables
+//	ciexp -tier big                 # megabyte-scale workload variants
+//	ciexp -shard 2/8 -json > s2.json# one shard of the sweep
 //	ciexp -list                     # show available experiments
 package main
 
@@ -21,13 +29,22 @@ import (
 	"strings"
 
 	"civect/internal/harness"
+	"civect/internal/sweep"
+	"civect/internal/workload"
 )
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ciexp: %v\n", err)
+	os.Exit(1)
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (cost, fig4, fig5, fig8, fig9, fig10, fig11, fig12, fig13, fig14, regs, stores, ablate) or 'all'")
 	instr := flag.Uint64("instr", 200_000, "committed-instruction budget per simulation")
-	benches := flag.String("benches", "", "comma-separated benchmark subset (default: all twelve)")
+	benches := flag.String("benches", "", "comma-separated benchmark subset (default: the selected tier)")
+	tier := flag.String("tier", "base", "benchmark tier: base (the twelve ~3k-instr stand-ins), big (their 100k+-instr variants), or both")
 	workers := flag.Int("workers", 0, "maximum simulations in flight across all experiments (default GOMAXPROCS; 1 fully serializes)")
+	shard := flag.String("shard", "", "run only shard k/n of the sweep and emit per-cell JSON for cimerge")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -40,11 +57,22 @@ func main() {
 	}
 
 	opt := harness.Options{MaxInstr: *instr, Workers: *workers}
+	switch *tier {
+	case "base":
+		// The harness default.
+	case "big":
+		opt.Benches = workload.BigNames()
+	case "both":
+		opt.Benches = append(workload.Names(), workload.BigNames()...)
+	default:
+		fmt.Fprintf(os.Stderr, "ciexp: unknown tier %q (base, big, both)\n", *tier)
+		os.Exit(2)
+	}
 	if *benches != "" {
 		opt.Benches = strings.Split(*benches, ",")
 	}
-	h := harness.New(opt)
 
+	var expIDs []string
 	exps := harness.Experiments()
 	if *exp != "all" {
 		e, ok := harness.ExperimentByID(*exp)
@@ -53,20 +81,37 @@ func main() {
 			os.Exit(2)
 		}
 		exps = []harness.Experiment{e}
+		expIDs = []string{e.ID}
 	}
 
+	if *shard != "" {
+		sh, err := sweep.ParseShard(*shard)
+		if err != nil {
+			fail(err)
+		}
+		file, err := sweep.RunShard(expIDs, opt, sh)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(file); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	h := harness.New(opt)
 	tables, err := harness.RunExperiments(h, exps)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ciexp: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(tables); err != nil {
-			fmt.Fprintf(os.Stderr, "ciexp: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}

@@ -21,17 +21,27 @@ import (
 // RunSpec identifies one simulation: a benchmark and the configuration
 // axes the paper sweeps.
 type RunSpec struct {
-	Bench      string
-	Mode       core.Mode
-	Ports      int // L1D ports (1 or 2)
-	Regs       int // physical registers; 0 = unbounded
-	Replicas   int
-	StridedPCs int
-	SpecMem    int // speculative data memory positions; 0 = none
-	SpecMemLat int
-	NoDAEC     bool
-	NoMBSGate  bool
-	MaxInstr   uint64
+	Bench      string    `json:"bench"`
+	Mode       core.Mode `json:"mode"`
+	Ports      int       `json:"ports"`                 // L1D ports (1 or 2)
+	Regs       int       `json:"regs"`                  // physical registers; 0 = unbounded
+	Replicas   int       `json:"replicas,omitempty"`    //
+	StridedPCs int       `json:"strided_pcs,omitempty"` //
+	SpecMem    int       `json:"spec_mem,omitempty"`    // speculative data memory positions; 0 = none
+	SpecMemLat int       `json:"spec_mem_lat,omitempty"`
+	NoDAEC     bool      `json:"no_daec,omitempty"`
+	NoMBSGate  bool      `json:"no_mbs_gate,omitempty"`
+	MaxInstr   uint64    `json:"max_instr"`
+}
+
+// Key renders the spec as a canonical, unique string: the identity of a
+// sweep cell. Shard partitioning sorts and deduplicates on it, so its
+// format is load-bearing for shard-assignment stability (sweep's golden
+// test pins it indirectly).
+func (s RunSpec) Key() string {
+	return fmt.Sprintf("%s|%s|p%d|r%d|rep%d|spc%d|sm%d|sml%d|daec%t|mbs%t|mi%d",
+		s.Bench, s.Mode, s.Ports, s.Regs, s.Replicas, s.StridedPCs,
+		s.SpecMem, s.SpecMemLat, s.NoDAEC, s.NoMBSGate, s.MaxInstr)
 }
 
 // Options configures a harness.
@@ -59,12 +69,38 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// harnessMode selects what Run does with a spec.
+type harnessMode int
+
+const (
+	// modeSimulate runs the timing simulator (the default).
+	modeSimulate harnessMode = iota
+	// modePlan records the normalized spec and returns placeholder
+	// stats without simulating: a dry run that enumerates the sweep.
+	modePlan
+	// modeOffline serves primed results only and errors on a cache
+	// miss: table regeneration from merged shard results must never
+	// silently re-simulate a missing cell.
+	modeOffline
+)
+
+// plannerStats is the placeholder every planned run returns. The fields
+// are nonzero so experiment code that derives ratios from them (IPC,
+// episode fractions) stays on its ordinary paths; the resulting tables
+// are discarded.
+var plannerStats = &core.Stats{
+	Cycles: 1000, Committed: 1500, Fetched: 2000,
+	Mispredicts: 16, CondBranches: 64, EpisodesSelected: 8, EpisodesReused: 4,
+	Loads: 100, Stores: 10,
+}
+
 // Harness memoizes simulation runs across experiments. The semaphore
 // bounds simulations in flight regardless of how many experiments or
 // RunAll fan-outs share the harness, so Options.Workers is an
 // end-to-end concurrency bound.
 type Harness struct {
-	opt Options
+	opt  Options
+	mode harnessMode
 
 	mu    sync.Mutex
 	cache map[RunSpec]*core.Stats
@@ -87,8 +123,64 @@ func New(opt Options) *Harness {
 	}
 }
 
+// NewPlanner builds a harness whose Run records specs instead of
+// simulating: running the experiments against it enumerates the exact
+// set of simulations a real harness with the same options would
+// execute. Experiment control flow is data-independent (each Run
+// returns fixed placeholder stats), so the recorded set is the sweep's
+// deterministic cross-product.
+func NewPlanner(opt Options) *Harness {
+	h := New(opt)
+	h.mode = modePlan
+	return h
+}
+
+// NewOffline builds a harness that only serves results primed with
+// Prime and fails on any other spec. It regenerates tables from
+// externally produced (e.g. sharded) simulation results with a
+// guarantee that nothing is silently re-simulated.
+func NewOffline(opt Options) *Harness {
+	h := New(opt)
+	h.mode = modeOffline
+	return h
+}
+
+// Prime installs a precomputed result for spec (normalized the same way
+// Run normalizes before its cache lookup).
+func (h *Harness) Prime(s RunSpec, st *core.Stats) {
+	s = h.normalize(s)
+	h.mu.Lock()
+	h.cache[s] = st
+	h.mu.Unlock()
+}
+
+// PlannedSpecs returns every spec recorded by a planner harness (or
+// every cached spec of a regular one), sorted by Key.
+func (h *Harness) PlannedSpecs() []RunSpec {
+	h.mu.Lock()
+	specs := make([]RunSpec, 0, len(h.cache))
+	for s := range h.cache {
+		specs = append(specs, s)
+	}
+	h.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Key() < specs[j].Key() })
+	return specs
+}
+
 // Options returns the harness options (with defaults applied).
 func (h *Harness) Options() Options { return h.opt }
+
+// normalize applies the per-run defaults Run fills in before touching
+// the cache, so cache keys, planned specs and primed specs agree.
+func (h *Harness) normalize(s RunSpec) RunSpec {
+	if s.MaxInstr == 0 {
+		s.MaxInstr = h.opt.MaxInstr
+	}
+	if s.Ports == 0 {
+		s.Ports = 1
+	}
+	return s
+}
 
 // configFor translates a RunSpec into a core.Config, applying the
 // paper's reorder-buffer sizing rule.
@@ -113,13 +205,25 @@ func configFor(s RunSpec) core.Config {
 	return cfg
 }
 
-// Run simulates one spec (memoized).
+// Run simulates one spec (memoized). On a planner harness it records
+// the spec and returns placeholder stats; on an offline harness it
+// serves primed results and errors on anything else.
 func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
-	if s.MaxInstr == 0 {
-		s.MaxInstr = h.opt.MaxInstr
-	}
-	if s.Ports == 0 {
-		s.Ports = 1
+	s = h.normalize(s)
+	switch h.mode {
+	case modePlan:
+		h.mu.Lock()
+		h.cache[s] = plannerStats
+		h.mu.Unlock()
+		return plannerStats, nil
+	case modeOffline:
+		h.mu.Lock()
+		st, ok := h.cache[s]
+		h.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("offline harness: no primed result for %s (incomplete shard coverage?)", s.Key())
+		}
+		return st, nil
 	}
 	h.mu.Lock()
 	if st, ok := h.cache[s]; ok {

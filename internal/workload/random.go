@@ -12,7 +12,7 @@ import (
 // count (tests run small instances to completion; the harness keeps the
 // long default and bounds committed instructions instead).
 func SpecWithIters(name string, iters int) (*Benchmark, error) {
-	p, ok := specParams[name]
+	p, ok := ParamsFor(name)
 	if !ok {
 		return nil, errUnknown(name)
 	}

@@ -1,6 +1,9 @@
 package workload
 
-import "sort"
+import (
+	"sort"
+	"strings"
+)
 
 // specParams tunes the twelve SpecInt2000 stand-ins. The knobs are set
 // from each program's published character: mcf is memory-bound with
@@ -60,6 +63,26 @@ var specParams = map[string]Params{
 	},
 }
 
+// BigSuffix distinguishes the megabyte-scale variant of a benchmark:
+// "gcc.big" is gcc's tuning re-generated at big-tier scale.
+const BigSuffix = ".big"
+
+// bigParams derives the megabyte-scale variant of a base tuning: a
+// uniform 64KB-per-stream array in each of 48 phase blocks (working
+// sets of several MB, past the 2MB L3), an inner trip count small
+// enough that execution rotates through phases every few thousand
+// instructions (so the >100k-instruction static footprint actually
+// thrashes the 64KB L1I and the 256-entry SRSMT within any budget),
+// and a distinct seed so the two tiers never share data.
+func bigParams(p Params) Params {
+	p.Name += BigSuffix
+	p.ArrayWords = 1 << 13
+	p.Phases = 48
+	p.Iters = 8
+	p.Seed += 1000
+	return p
+}
+
 // Names returns the benchmark names in SpecInt2000's customary order.
 func Names() []string {
 	names := make([]string, 0, len(specParams))
@@ -70,15 +93,32 @@ func Names() []string {
 	return names
 }
 
-// ParamsFor returns the tuning for a named benchmark.
-func ParamsFor(name string) (Params, bool) {
-	p, ok := specParams[name]
-	return p, ok
+// BigNames returns the megabyte-scale tier's benchmark names.
+func BigNames() []string {
+	names := Names()
+	for i := range names {
+		names[i] += BigSuffix
+	}
+	return names
 }
 
-// Spec generates a named SpecInt2000 stand-in.
+// ParamsFor returns the tuning for a named benchmark of either tier.
+func ParamsFor(name string) (Params, bool) {
+	if p, ok := specParams[name]; ok {
+		return p, true
+	}
+	if base, isBig := strings.CutSuffix(name, BigSuffix); isBig {
+		if p, ok := specParams[base]; ok {
+			return bigParams(p), true
+		}
+	}
+	return Params{}, false
+}
+
+// Spec generates a named SpecInt2000 stand-in ("gcc") or its
+// megabyte-scale variant ("gcc.big").
 func Spec(name string) (*Benchmark, error) {
-	p, ok := specParams[name]
+	p, ok := ParamsFor(name)
 	if !ok {
 		return nil, errUnknown(name)
 	}

@@ -78,6 +78,23 @@ type Params struct {
 	// stores occasionally land inside replica address ranges and
 	// exercise the §2.4.3 coherence check.
 	StoreIntoStream bool
+	// Phases selects the megabyte-scale tier: when > 1 the generator
+	// emits Phases distinct copies of the kernel ("phases"), each with
+	// its own code labels and its own data block, chained sequentially
+	// inside an outer epoch loop. Distinct phase code means distinct
+	// PCs, so the static program grows past the L1 I-cache and the
+	// strided-load population overflows the SRSMT/stride-predictor
+	// capacity — the pressure real binaries exert that the ~3k-instr
+	// base tier cannot. 0 or 1 keeps the classic single-phase shape.
+	Phases int
+	// Unroll replicates the loop body inside each phase's inner loop
+	// (big tier only). 0 sizes it automatically so the whole program
+	// exceeds bigStaticTarget static instructions.
+	Unroll int
+	// Epochs is the outer trip count over the phase sequence (big tier
+	// only; 0 defaults to 1<<16). The program halts after Epochs
+	// passes, so small values let tests run big programs to completion.
+	Epochs int
 	// Seed fixes the data image.
 	Seed int64
 }
@@ -103,6 +120,31 @@ const (
 	storeBase   = 0x0200_0000
 )
 
+// Big-tier layout: each phase owns a 2MB block of 16 slots of 128KB —
+// slots 0..7 are stream arrays, slot 8 the arm-load array (mirroring
+// the base tier's slot-8 convention), slot 15 the store region. Slot
+// bases stay multiples of the ArrayWords*8 wrap mask, so the pointer
+// arithmetic is identical to the base tier's.
+const (
+	bigBase        = 0x0800_0000
+	bigStreamSpace = 0x0002_0000
+	bigSlots       = 16
+	bigArmSlot     = 8
+	bigStoreSlot   = 15
+
+	// bigStaticTarget is the static-instruction floor automatic Unroll
+	// sizing aims for (comfortably above the 100k the big tier
+	// promises; the L1 I-cache holds 16k instructions).
+	bigStaticTarget = 112_000
+	// bigDefaultEpochs keeps big programs effectively unbounded for the
+	// harness (which cuts off on committed instructions) while still
+	// structurally halting.
+	bigDefaultEpochs = 1 << 16
+)
+
+// bigPhaseBase returns the data-block base address of a phase.
+func bigPhaseBase(ph int) int { return bigBase + ph*bigSlots*bigStreamSpace }
+
 // Register allocation within the generated programs.
 const (
 	rZero    = 0  // holds 0 throughout
@@ -112,6 +154,7 @@ const (
 	rChase   = 12 // pointer-chase cursor
 	rGBase   = 13 // gather table base
 	rArmPtr  = 14 // arm-resident load pointer
+	rEpoch   = 15 // outer epoch counter (big tier)
 	rAccBase = 16 // CI accumulators r16..
 	rArmVal  = 30 // arm-load value and its control-dependent accumulator
 	rValBase = 32 // loaded values r32..
@@ -133,30 +176,52 @@ func Generate(p Params) (*Benchmark, error) {
 	if p.Hammocks < 1 || p.Hammocks > 4 {
 		return nil, fmt.Errorf("workload %s: Hammocks out of range", p.Name)
 	}
+	if p.Phases > 1 {
+		if p.Phases > 256 {
+			return nil, fmt.Errorf("workload %s: Phases out of range", p.Name)
+		}
+		if p.ArrayWords*8 > bigStreamSpace/2 {
+			return nil, fmt.Errorf("workload %s: ArrayWords too large for a big-tier slot", p.Name)
+		}
+		if p.Unroll == 0 {
+			p.Unroll = p.sizedUnroll()
+		}
+		if p.Epochs == 0 {
+			p.Epochs = bigDefaultEpochs
+		}
+	}
 
 	rng := rand.New(rand.NewSource(p.Seed))
 	image := mem.New()
 
 	// Stream 0 holds the branch-steering data (0/1 with TakenBias);
-	// remaining streams hold values to accumulate.
-	for s := 0; s < p.Streams; s++ {
-		base := uint64(streamBase + s*streamSpace)
-		for i := 0; i < p.ArrayWords; i++ {
-			var v uint64
-			if s == 0 {
-				if rng.Float64() < p.TakenBias {
-					v = 1
-				}
-			} else {
-				v = uint64(rng.Int63n(1 << 20))
-			}
-			image.Write64(base+uint64(i*8), v)
+	// remaining streams hold values to accumulate. The big tier
+	// repeats the layout once per phase, each phase in its own block.
+	for ph := 0; ph < max(1, p.Phases); ph++ {
+		streamAt, armAt := streamBase, streamBase+8*streamSpace
+		space := streamSpace
+		if p.Phases > 1 {
+			streamAt, armAt = bigPhaseBase(ph), bigPhaseBase(ph)+bigArmSlot*bigStreamSpace
+			space = bigStreamSpace
 		}
-	}
-	if p.ArmLoads > 0 {
-		base := uint64(streamBase + 8*streamSpace)
-		for i := 0; i < p.ArrayWords; i++ {
-			image.Write64(base+uint64(i*8), uint64(rng.Int63n(1<<16)))
+		for s := 0; s < p.Streams; s++ {
+			base := uint64(streamAt + s*space)
+			for i := 0; i < p.ArrayWords; i++ {
+				var v uint64
+				if s == 0 {
+					if rng.Float64() < p.TakenBias {
+						v = 1
+					}
+				} else {
+					v = uint64(rng.Int63n(1 << 20))
+				}
+				image.Write64(base+uint64(i*8), v)
+			}
+		}
+		if p.ArmLoads > 0 {
+			for i := 0; i < p.ArrayWords; i++ {
+				image.Write64(uint64(armAt)+uint64(i*8), uint64(rng.Int63n(1<<16)))
+			}
 		}
 	}
 	if p.PointerChase {
@@ -189,8 +254,42 @@ func MustGenerate(p Params) *Benchmark {
 	return b
 }
 
+// bodyLayout parameterizes one emitted copy of the loop body: the
+// label prefix that keeps its hammock/store labels unique, and the
+// data-block addresses it embeds as immediates. The base tier uses one
+// copy over the classic layout; the big tier emits Phases×Unroll
+// copies, each phase over its own block.
+type bodyLayout struct {
+	lbl        string
+	streamBase func(s int) int
+	armBase    int
+	storeDisp  int
+}
+
+func baseLayout() bodyLayout {
+	return bodyLayout{
+		lbl:        "",
+		streamBase: func(s int) int { return streamBase + s*streamSpace },
+		armBase:    streamBase + 8*streamSpace,
+		storeDisp:  storeBase - streamBase,
+	}
+}
+
+func bigLayout(ph int, u int) bodyLayout {
+	base := bigPhaseBase(ph)
+	return bodyLayout{
+		lbl:        fmt.Sprintf("p%du%d", ph, u),
+		streamBase: func(s int) int { return base + s*bigStreamSpace },
+		armBase:    base + bigArmSlot*bigStreamSpace,
+		storeDisp:  bigStoreSlot * bigStreamSpace,
+	}
+}
+
 // emitSource renders the benchmark's assembly.
 func (p Params) emitSource() string {
+	if p.Phases > 1 {
+		return p.emitBigSource()
+	}
 	var b strings.Builder
 	w := func(format string, args ...any) {
 		fmt.Fprintf(&b, format+"\n", args...)
@@ -213,7 +312,101 @@ func (p Params) emitSource() string {
 		w("        movi r%d, %d", rArmPtr, streamBase+8*streamSpace)
 	}
 	w("loop:")
+	p.emitBody(w, baseLayout())
+	w("        subi r%d, r%d, 1", rCount, rCount)
+	w("        bnez r%d, loop", rCount)
+	w("        halt")
+	return b.String()
+}
 
+// emitBigSource renders the megabyte-scale tier: an outer epoch loop
+// over Phases distinct copies of the kernel, each phase an inner loop
+// of Unroll body copies over its own 2MB data block. The multi-level
+// structure (epoch loop → per-phase loops → unrolled hammock bodies)
+// stands in for the call trees of real binaries — the ISA has direct
+// branches only, so "calls" are fully inlined phase bodies.
+func (p Params) emitBigSource() string {
+	var b strings.Builder
+	b.Grow(64 * bigStaticTarget)
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	w("; synthetic %s (big tier): phases=%d unroll=%d iters=%d epochs=%d streams=%d hammocks=%d bias=%.2f",
+		p.Name, p.Phases, p.Unroll, p.Iters, p.Epochs, p.Streams, p.Hammocks, p.TakenBias)
+	w("        movi r%d, %d", rEpoch, p.Epochs)
+	w("        movi r%d, %d", rMask, (p.ArrayWords*8)-1)
+	if p.PointerChase {
+		w("        movi r%d, %d", rChase, chaseBase)
+	}
+	// Pad even-length body copies to an odd instruction count: the MBS,
+	// stride and SRSMT tables are set-indexed by PC, and identical-length
+	// copies whose length shares a factor with the power-of-two set
+	// counts would alias the same few sets, starving the predictors in a
+	// way no real instruction mix does.
+	pad := p.bodyInstrs()%2 == 0
+	w("epoch:")
+	for ph := 0; ph < p.Phases; ph++ {
+		lay := bigLayout(ph, 0)
+		w("        movi r%d, %d", rCount, p.Iters)
+		for s := 0; s < p.Streams; s++ {
+			w("        movi r%d, %d", rPtr0+s, lay.streamBase(s))
+		}
+		if p.Gathers > 0 {
+			w("        movi r%d, %d", rGBase, lay.streamBase(0))
+		}
+		if p.ArmLoads > 0 {
+			w("        movi r%d, %d", rArmPtr, lay.armBase)
+		}
+		w("p%dloop:", ph)
+		for u := 0; u < p.Unroll; u++ {
+			p.emitBody(w, bigLayout(ph, u))
+			if pad {
+				w("        nop")
+			}
+		}
+		w("        subi r%d, r%d, 1", rCount, rCount)
+		w("        bnez r%d, p%dloop", rCount, ph)
+	}
+	w("        subi r%d, r%d, 1", rEpoch, rEpoch)
+	w("        bnez r%d, epoch", rEpoch)
+	w("        halt")
+	return b.String()
+}
+
+// bodyInstrs returns the instruction count of one body copy, by
+// emitting it once and counting instruction lines (instructions are
+// indented; labels are not, and bodies contain no comments).
+func (p Params) bodyInstrs() int {
+	var b strings.Builder
+	w := func(format string, args ...any) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	p.emitBody(w, bigLayout(0, 0))
+	body := 0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "        ") {
+			body++
+		}
+	}
+	return body
+}
+
+// sizedUnroll picks the body replication factor that pushes the big
+// tier past bigStaticTarget static instructions.
+func (p Params) sizedUnroll() int {
+	body := p.bodyInstrs()
+	if body%2 == 0 {
+		body++ // the nop pad emitBigSource adds
+	}
+	per := p.Phases * body
+	return (bigStaticTarget + per - 1) / per
+}
+
+// emitBody renders one copy of the per-iteration loop body over lay:
+// strided loads, hammocks with their control-independent regions,
+// gathers, filler ILP, stores, and the stream-pointer advances.
+func (p Params) emitBody(w func(string, ...any), lay bodyLayout) {
 	// Strided loads, one per stream.
 	for s := 0; s < p.Streams; s++ {
 		w("        ld   r%d, 0(r%d)", rValBase+s, rPtr0+s)
@@ -236,7 +429,7 @@ func (p Params) emitSource() string {
 		if armOps <= 0 {
 			armOps = 2
 		}
-		w("        bnez r%d, h%delse", cond, h)
+		w("        bnez r%d, %sh%delse", cond, lay.lbl, h)
 		// then arm: control-dependent writes (never reusable).
 		if h == 0 && p.ArmLoads > 0 {
 			// A strided load living inside the arm: perfectly strided
@@ -244,7 +437,7 @@ func (p Params) emitSource() string {
 			w("        ld   r%d, 0(r%d)", rArmVal, rArmPtr)
 			w("        addi r%d, r%d, 8", rArmPtr, rArmPtr)
 			w("        and  r%d, r%d, r%d", rArmTmp, rArmPtr, rMask)
-			w("        movi r%d, %d", rArmTmp+1, streamBase+8*streamSpace)
+			w("        movi r%d, %d", rArmTmp+1, lay.armBase)
 			w("        add  r%d, r%d, r%d", rArmPtr, rArmTmp+1, rArmTmp)
 			w("        add  r%d, r%d, r%d", rArmVal+1, rArmVal+1, rArmVal)
 		}
@@ -259,14 +452,14 @@ func (p Params) emitSource() string {
 				w("        add  r%d, r%d, r%d", r, r, rArm)
 			}
 		}
-		w("        jmp  h%djoin", h)
-		w("h%delse:", h)
+		w("        jmp  %sh%djoin", lay.lbl, h)
+		w("%sh%delse:", lay.lbl, h)
 		// else arm, slightly lighter.
 		for a := 0; a < (armOps+1)/2; a++ {
 			r := rArm + 3 + a%2
 			w("        subi r%d, r%d, %d", r, r, a+1)
 		}
-		w("h%djoin:", h)
+		w("%sh%djoin:", lay.lbl, h)
 		// Control-independent region: accumulate strided-load values.
 		for c := 0; c < p.CIOps; c++ {
 			val := rValBase + 1 + (c % max(1, p.Streams-1))
@@ -314,13 +507,13 @@ func (p Params) emitSource() string {
 	// Stores. The regular store goes to the disjoint store region;
 	// StoreEvery > 1 (a power of two) gates it to every k-th iteration.
 	if p.StoreEvery == 1 {
-		w("        st   r%d, %d(r%d)", rAccBase, storeBase-streamBase, rPtr0)
+		w("        st   r%d, %d(r%d)", rAccBase, lay.storeDisp, rPtr0)
 	} else if p.StoreEvery > 1 {
 		w("        movi r%d, %d", rTmp+1, p.StoreEvery-1)
 		w("        and  r%d, r%d, r%d", rTmp, rCount, rTmp+1)
-		w("        bnez r%d, nostore", rTmp)
-		w("        st   r%d, %d(r%d)", rAccBase, storeBase-streamBase, rPtr0)
-		w("nostore:")
+		w("        bnez r%d, %snostore", rTmp, lay.lbl)
+		w("        st   r%d, %d(r%d)", rAccBase, lay.storeDisp, rPtr0)
+		w("%snostore:", lay.lbl)
 	}
 	if p.StoreIntoStream && p.Streams > 1 {
 		// Every 64th iteration, additionally store three words ahead of
@@ -329,23 +522,18 @@ func (p Params) emitSource() string {
 		// for a small fraction of stores.
 		w("        movi r%d, 63", rTmp+1)
 		w("        and  r%d, r%d, r%d", rTmp, rCount, rTmp+1)
-		w("        bnez r%d, nostream", rTmp)
+		w("        bnez r%d, %snostream", rTmp, lay.lbl)
 		w("        st   r%d, 24(r%d)", rAccBase, rPtr0+1)
-		w("nostream:")
+		w("%snostream:", lay.lbl)
 	}
 
 	// Advance the stream pointers (unit stride, wrapped to the array).
 	for s := 0; s < p.Streams; s++ {
 		w("        addi r%d, r%d, 8", rPtr0+s, rPtr0+s)
 		w("        and  r%d, r%d, r%d", rTmp+1, rPtr0+s, rMask)
-		w("        movi r%d, %d", rTmp+2, streamBase+s*streamSpace)
+		w("        movi r%d, %d", rTmp+2, lay.streamBase(s))
 		w("        add  r%d, r%d, r%d", rPtr0+s, rTmp+2, rTmp+1)
 	}
-
-	w("        subi r%d, r%d, 1", rCount, rCount)
-	w("        bnez r%d, loop", rCount)
-	w("        halt")
-	return b.String()
 }
 
 func max(a, b int) int {
