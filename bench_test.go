@@ -80,6 +80,36 @@ func BenchmarkSimulatorCI(b *testing.B) {
 	b.ReportMetric(st.ReuseFraction(), "reuse-frac")
 }
 
+// BenchmarkIssueStage micro-benchmarks the scheduler hot loop: the
+// marginal cost of one steady-state ci-mode cycle (issue wakeup,
+// replica arbitration, commit/refill rhythm), with setup and warmup
+// excluded. This is the number the event-driven wakeup engine moves.
+func BenchmarkIssueStage(b *testing.B) {
+	wl, err := workload.SpecWithIters("gcc", 50_000_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(core.ModeCI)
+	p, err := core.New(cfg, wl.Program, wl.NewMem())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		p.Step()
+	}
+	c0 := p.Stats.Committed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+	b.StopTimer()
+	if p.Halted() {
+		b.Fatal("workload ended inside the measured slice")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+	b.ReportMetric(float64(p.Stats.Committed-c0)/b.Elapsed().Seconds(), "sim-instrs/s")
+}
+
 // BenchmarkHardwareCost reproduces the §3.1 storage accounting.
 func BenchmarkHardwareCost(b *testing.B) {
 	var total int

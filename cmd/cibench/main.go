@@ -4,6 +4,12 @@
 // hot path is tracked in-repo from one change to the next. cmd/cigate
 // compares a fresh run against the committed baseline in CI.
 //
+// Besides the per-mode/per-tier whole-run rows, cibench emits an
+// "issue" micro row: the marginal throughput of a warmed steady-state
+// ci-mode cycle slice, which isolates the scheduler hot loop (issue
+// wakeup + replica arbitration) from setup cost so cigate catches
+// scheduler regressions that whole-run noise would hide.
+//
 // Usage:
 //
 //	cibench                          # write BENCH_core.json (gcc + gcc.big)
@@ -63,10 +69,69 @@ func measure(mode core.Mode, bench string, instr uint64) (benchfmt.Result, error
 	}, nil
 }
 
+// measureIssueStage micro-benchmarks the scheduler hot loop: a ci-mode
+// gcc pipeline is warmed past the table-churn phase, then a fixed slice
+// of cycles is timed. The slice's committed-instruction and reuse
+// deltas are deterministic, so the gate's exact-match check pins the
+// scheduler's semantics along with its speed; throughput over the slice
+// isolates the per-cycle scheduling cost from setup and workload
+// generation.
+func measureIssueStage() (benchfmt.Result, error) {
+	const warmCycles, sliceCycles = 20_000, 50_000
+	wl, err := workload.SpecWithIters("gcc", 50_000_000)
+	if err != nil {
+		return benchfmt.Result{}, err
+	}
+	var committed, reused uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			p, err := core.New(core.DefaultConfig(core.ModeCI), wl.Program, wl.NewMem())
+			if err != nil {
+				runErr = err
+				return
+			}
+			for c := 0; c < warmCycles; c++ {
+				p.Step()
+			}
+			c0, r0 := p.Stats.Committed, p.Stats.CommittedReuse
+			b.StartTimer()
+			for c := 0; c < sliceCycles; c++ {
+				p.Step()
+			}
+			b.StopTimer()
+			if p.Halted() {
+				runErr = fmt.Errorf("issue-stage slice ran past the workload's halt")
+				return
+			}
+			committed = p.Stats.Committed - c0
+			reused = p.Stats.CommittedReuse - r0
+		}
+	})
+	if runErr != nil {
+		return benchfmt.Result{}, fmt.Errorf("issue-stage micro: %w", runErr)
+	}
+	ns := br.NsPerOp()
+	return benchfmt.Result{
+		Mode:            "issue",
+		Bench:           "gcc",
+		Instr:           committed,
+		NsPerOp:         ns,
+		SimInstrsPerSec: float64(committed) / (float64(ns) * 1e-9),
+		BytesPerOp:      br.AllocedBytesPerOp(),
+		AllocsPerOp:     br.AllocsPerOp(),
+		IPC:             float64(committed) / float64(sliceCycles),
+		ReuseFraction:   float64(reused) / float64(committed),
+	}, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output path ('-' for stdout)")
 	bench := flag.String("bench", "gcc,gcc.big", "comma-separated benchmark workloads (both tiers allowed)")
 	instr := flag.Uint64("instr", 30_000, "committed-instruction budget per simulation")
+	micro := flag.Bool("micro", true, "include the issue-stage scheduler microbenchmark row")
 	flag.Parse()
 
 	modes := []core.Mode{core.ModeScalar, core.ModeWideBus, core.ModeCI, core.ModeCIIW, core.ModeVect}
@@ -82,6 +147,16 @@ func main() {
 				r.Bench, r.Mode, r.SimInstrsPerSec, r.BytesPerOp, r.AllocsPerOp)
 			results = append(results, r)
 		}
+	}
+	if *micro {
+		r, err := measureIssueStage()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cibench: %-12s %-6s %8.0f sim-instrs/s  %8d B/op  %5d allocs/op\n",
+			r.Bench, r.Mode, r.SimInstrsPerSec, r.BytesPerOp, r.AllocsPerOp)
+		results = append(results, r)
 	}
 
 	blob, err := benchfmt.Marshal(results)

@@ -1,6 +1,10 @@
 package ci
 
-import "civect/internal/isa"
+import (
+	"math/bits"
+
+	"civect/internal/isa"
+)
 
 // OperandKind classifies how a replicated instruction's source operand
 // is identified in the SRSMT (the paper's seq1/seq2 fields: "identify
@@ -83,27 +87,69 @@ type Replica struct {
 // Entry is one SRSMT entry (Figure 6): the replicated instruction, its
 // replica set and consumption cursors, operand identities, the DAEC
 // counter and the address range of load replicas (§2.4.3).
+//
+// Field order is deliberate: the per-cycle arbitration fast path (the
+// worklist turn header and the wakeup bookkeeping) reads the leading
+// block, so it spans the entry's first cache lines; per-validation and
+// per-creation fields follow.
 type Entry struct {
 	Valid bool
-	PC    uint64
-	// Gen distinguishes successive allocations of the same table way so
-	// stale cross-entry references can be detected.
-	Gen   uint64
-	Instr isa.Instr
-
+	// IsLoad marks load entries (address-sequence replicas).
 	IsLoad bool
+	// SeedCaptured marks an OperandSelf seed value stored (in
+	// Src1/Src2 .Value), SeedBroken that the seed register was
+	// squashed before capture; SeedPhys below is the register watched
+	// while neither is set (-1 when there is no pending seed).
+	SeedCaptured bool
+	SeedBroken   bool
+	// Listed reports whether this incarnation is currently enqueued on
+	// the pipeline's active-entry worklist. Idle entries are parked off
+	// the list and re-inserted in Stamp order when cursor movement or a
+	// wakeup creates work, so arbitration order is identical to
+	// scanning every entry every cycle.
+	Listed bool
+	// Idle counts consecutive arbitration turns with nothing
+	// actionable; the event-driven scheduler parks an entry only after
+	// a few of them, so entries that bounce between idle and woken
+	// every cycle (the steady commit-refill rhythm) keep their listing
+	// instead of paying a sorted re-insertion per wake. Purely a
+	// scheduling-cost knob: an idle listed turn and a parked entry are
+	// observationally identical.
+	Idle uint8
 	// NSrc is Instr's source-operand count, precomputed so replica
 	// issue does not re-derive it every attempt.
 	NSrc uint8
-	// Stride is the predicted stride a vectorized load was created
-	// with; validation requires it to keep on being the same.
-	Stride int64
-	// BatchBase is the architectural address the current replica batch
-	// extends from (replica k reads BatchBase + Stride·(k+1)).
-	BatchBase uint64
-
-	Src1, Src2 OperandRef
-
+	// Gen distinguishes successive allocations of the same table way so
+	// stale cross-entry references can be detected.
+	Gen uint64
+	// ActiveMask mirrors Pending per ring slot (bit i covers
+	// Replicas[i]) so the scan visits only actionable slots. Valid for
+	// rings of at most 64 slots; larger rings fall back to a full scan.
+	ActiveMask uint64
+	// BlockedMask holds Waiting slots parked on an operand event (their
+	// producer replica, producer allocation, or recurrence seed is not
+	// resolved yet). Blocked slots are skipped by the per-cycle scan and
+	// re-armed into ActiveMask by Unblock when the event fires; a slot
+	// is in at most one of the two masks, and Pending covers both. Only
+	// the event-driven scheduler blocks slots; the naive reference
+	// re-attempts them every cycle.
+	BlockedMask uint64
+	// IssuedMask mirrors the Issued slots within ActiveMask, and
+	// NextDone lower-bounds the earliest cycle one of them can retire.
+	// Together they let the event-driven scheduler skip the turns of an
+	// entry that is only waiting out functional-unit or cache latency —
+	// the remaining poll the wakeup chains cannot remove. Maintained by
+	// the pipeline (issue, settle, overwrite); meaningless to the naive
+	// reference.
+	IssuedMask uint64
+	NextDone   uint64
+	// Issue counts replicas issued but not yet finished executing.
+	Issue int
+	// Pending counts allocated ring slots in the Waiting or Issued
+	// states — the slots the per-cycle replica scan can still act on.
+	// The pipeline maintains it at every state transition so an entry
+	// whose replicas are all Done/Failed can be skipped in O(1).
+	Pending int
 	// NRegs is the batch size: how many replicas the entry keeps ahead
 	// of the Decode cursor. The ring Replicas holds 2·NRegs slots so
 	// that consumed-but-uncommitted replicas survive for recovery
@@ -120,52 +166,53 @@ type Entry struct {
 	// Commit on every committed instance; Alloc is one past the newest
 	// allocated replica (indices skipped by Decode are never
 	// allocated — they stay holes).
-	Decode int
-	Commit int
-	Alloc  int
+	Decode   int
+	Commit   int
+	Alloc    int
+	SeedPhys int
+	// Stamp is the creation order of this incarnation — the worklist
+	// arbitration order activateEntry re-inserts at.
+	Stamp uint64
+
+	Replicas []Replica
+
+	// Consumers chains the entries whose OperandVec inputs read this
+	// entry's replicas: when a replica here settles (or the allocation
+	// frontier advances, or the entry dies), the pipeline wakes them so
+	// their blocked replicas re-attempt arbitration. Stale incarnations
+	// are dropped lazily on wake and compacted by AddConsumer.
+	Consumers []ConsumerRef
+
+	PC    uint64
+	Instr isa.Instr
+
+	// Stride is the predicted stride a vectorized load was created
+	// with; validation requires it to keep on being the same.
+	Stride int64
+	// BatchBase is the architectural address the current replica batch
+	// extends from (replica k reads BatchBase + Stride·(k+1)).
+	BatchBase uint64
+
+	Src1, Src2 OperandRef
+
 	// CreatorSeq is the dynamic sequence number of the instance that
 	// created the entry; only younger instances move the cursors.
 	CreatorSeq uint64
-	// Issue counts replicas issued but not yet finished executing.
-	Issue int
-	// Pending counts allocated ring slots in the Waiting or Issued
-	// states — the slots the per-cycle replica scan can still act on.
-	// The pipeline maintains it at every state transition so an entry
-	// whose replicas are all Done/Failed can be skipped in O(1).
-	Pending int
-	// ActiveMask mirrors Pending per ring slot (bit i covers
-	// Replicas[i]) so the scan visits only actionable slots. Valid for
-	// rings of at most 64 slots; larger rings fall back to a full scan.
-	ActiveMask uint64
 	// DAEC is the Dead Association Elimination Counter (§2.4.2).
 	DAEC int
-
-	// SeedPhys is the physical register seeding an OperandSelf
-	// recurrence when the seed value was not ready at creation;
-	// SeedCaptured marks the seed value stored (in Src1/Src2 .Value),
-	// SeedBroken that the seed register was squashed before capture.
-	SeedPhys     int
-	SeedCaptured bool
-	SeedBroken   bool
 
 	// HasRange marks RangeLo/RangeHi as meaningful (load entries).
 	HasRange         bool
 	RangeLo, RangeHi uint64
 
-	Replicas []Replica
-
 	// Episode attributes the entry to the CRP episode that selected it
 	// (reuse statistics, Figure 5).
 	Episode uint64
 
-	// Stamp and Listed belong to the pipeline's active-entry worklist:
-	// Stamp is the creation order of this incarnation (worklist
-	// arbitration order), Listed whether the incarnation is currently
-	// enqueued. Idle entries are parked off the list and re-inserted in
-	// Stamp order when cursor movement creates work, so arbitration
-	// order is identical to scanning every entry every cycle.
-	Stamp  uint64
-	Listed bool
+	// way is this entry's fixed index in the table's way array, set at
+	// construction and preserved across incarnations; it backs the
+	// table's validity bitmap.
+	way int32
 
 	lru uint64
 }
@@ -191,15 +238,70 @@ func (e *Entry) Slot(abs int) *Replica {
 	return r
 }
 
-// Settle retires an actionable (Waiting/Issued) slot into a terminal
-// state, keeping the Pending counter and ActiveMask coherent. Every
-// transition out of Waiting/Issued must go through here — hand-rolled
-// bookkeeping at call sites is how the two desync. (The &63 keeps the
-// shift in range for >64-slot rings, whose mask is unused.)
+// slotBit returns slot's position in the ring masks. (The &63 keeps
+// the shift in range for >64-slot rings, whose masks are unused.)
+func (e *Entry) slotBit(slot *Replica) uint64 {
+	return 1 << (uint(slot.Abs) & uint(len(e.Replicas)-1) & 63)
+}
+
+// Settle retires a pending (Waiting/Issued, possibly blocked) slot into
+// a terminal state, keeping the Pending counter and both ring masks
+// coherent. Every transition out of Waiting/Issued must go through
+// here — hand-rolled bookkeeping at call sites is how they desync.
 func (e *Entry) Settle(slot *Replica, st ReplicaState) {
 	slot.State = st
 	e.Pending--
-	e.ActiveMask &^= 1 << (uint(slot.Abs) & uint(len(e.Replicas)-1) & 63)
+	b := e.slotBit(slot)
+	e.ActiveMask &^= b
+	e.BlockedMask &^= b
+	e.IssuedMask &^= b
+}
+
+// Block parks a Waiting slot on an operand event: it leaves the
+// scanned ActiveMask until Unblock re-arms it.
+func (e *Entry) Block(slot *Replica) {
+	b := e.slotBit(slot)
+	e.ActiveMask &^= b
+	e.BlockedMask |= b
+}
+
+// MarkIssued records a slot's transition to Issued in the issued mask.
+func (e *Entry) MarkIssued(slot *Replica) { e.IssuedMask |= e.slotBit(slot) }
+
+// Unblock re-arms every blocked slot for arbitration and returns the
+// mask of slots it moved.
+func (e *Entry) Unblock() uint64 {
+	m := e.BlockedMask
+	e.ActiveMask |= m
+	e.BlockedMask = 0
+	return m
+}
+
+// ConsumerRef pins one consumer-entry incarnation on a producer's
+// wakeup chain; Gen detects the consumer way being recycled.
+type ConsumerRef struct {
+	Ent *Entry
+	Gen uint64
+}
+
+// Live reports whether the chained incarnation still exists.
+func (c ConsumerRef) Live() bool { return c.Ent.Valid && c.Ent.Gen == c.Gen }
+
+// AddConsumer chains consumer c to e's wakeup list. Dead incarnations
+// are compacted once the list grows past the table's worst case, so a
+// long-lived producer feeding a frequently recycled consumer way
+// cannot grow the chain without bound.
+func (e *Entry) AddConsumer(c *Entry) {
+	if len(e.Consumers) >= 16 {
+		live := e.Consumers[:0]
+		for _, r := range e.Consumers {
+			if r.Live() {
+				live = append(live, r)
+			}
+		}
+		e.Consumers = live
+	}
+	e.Consumers = append(e.Consumers, ConsumerRef{Ent: c, Gen: c.Gen})
 }
 
 // InitRing sizes the replica ring to at least n slots, rounded up to a
@@ -220,6 +322,9 @@ func (e *Entry) InitRing(n int) {
 		e.Replicas[i] = Replica{Abs: -1, Dest: -1}
 	}
 	e.ActiveMask = 0
+	e.BlockedMask = 0
+	e.IssuedMask = 0
+	e.NextDone = 0
 }
 
 // CoversAddr reports whether addr falls in the entry's replica address
@@ -241,6 +346,12 @@ type SRSMT struct {
 	// before scanning the set: the pipeline probes the table for every
 	// committed and renamed instruction, and almost all probes miss.
 	present []uint64
+	// valid is a way-indexed bitmap of valid entries, so the whole-table
+	// walks the pipeline performs at every recovery (OnRecovery,
+	// ForEachValid) skip straight to the handful of live ways — in the
+	// exact way-index order a full scan would visit, which release-order
+	// determinism depends on.
+	valid []uint64
 }
 
 // NewSRSMT builds the table.
@@ -251,7 +362,15 @@ func NewSRSMT(sets, assoc int) *SRSMT {
 	if assoc <= 0 {
 		panic("ci: SRSMT associativity must be positive")
 	}
-	return &SRSMT{sets: sets, assoc: assoc, ways: make([]Entry, sets*assoc)}
+	t := &SRSMT{
+		sets: sets, assoc: assoc,
+		ways:  make([]Entry, sets*assoc),
+		valid: make([]uint64, (sets*assoc+63)/64),
+	}
+	for i := range t.ways {
+		t.ways[i].way = int32(i)
+	}
+	return t
 }
 
 func (t *SRSMT) set(pc uint64) []Entry {
@@ -328,29 +447,41 @@ func (t *SRSMT) Init(e *Entry, pc uint64, in isa.Instr) *Entry {
 	t.clock++
 	t.gen++
 	ring := e.Replicas[:0]
-	*e = Entry{Valid: true, PC: pc, Gen: t.gen, Instr: in, lru: t.clock}
+	cons := e.Consumers[:0]
+	way := e.way
+	*e = Entry{Valid: true, PC: pc, Gen: t.gen, Instr: in, way: way, lru: t.clock}
 	e.Replicas = ring
+	e.Consumers = cons
+	t.valid[way>>6] |= 1 << (uint(way) & 63)
 	t.markPresent(pc, true)
 	return e
 }
 
-// Invalidate clears an entry, keeping its replica ring storage for the
-// way's next incarnation. The caller releases owned resources first.
+// Invalidate clears an entry, keeping its replica ring and consumer
+// chain storage for the way's next incarnation (both are emptied, so
+// no stale wakeup can leak into it). The caller releases owned
+// resources and wakes the chained consumers first.
 func (t *SRSMT) Invalidate(e *Entry) {
 	if e.Valid {
 		t.markPresent(e.PC, false)
 	}
 	ring := e.Replicas[:0]
-	*e = Entry{}
+	cons := e.Consumers[:0]
+	way := e.way
+	*e = Entry{way: way}
 	e.Replicas = ring
+	e.Consumers = cons
+	t.valid[way>>6] &^= 1 << (uint(way) & 63)
 }
 
-// ForEachValid calls fn for every valid entry; fn returning false stops
-// the walk.
+// ForEachValid calls fn for every valid entry in way-index order; fn
+// returning false stops the walk. The validity bitmap makes the walk
+// proportional to the live entries, not the table size.
 func (t *SRSMT) ForEachValid(fn func(*Entry) bool) {
-	for i := range t.ways {
-		if t.ways[i].Valid {
-			if !fn(&t.ways[i]) {
+	for w, word := range t.valid {
+		for b := word; b != 0; b &= b - 1 {
+			e := &t.ways[w<<6+bits.TrailingZeros64(b)]
+			if e.Valid && !fn(e) {
 				return
 			}
 		}
@@ -365,24 +496,26 @@ func (t *SRSMT) ForEachValid(fn func(*Entry) bool) {
 // otherwise (§2.4.2); entries whose DAEC reaches 2 are passed to dead,
 // which must release their resources, and are then invalidated.
 func (t *SRSMT) OnRecovery(countDAEC bool, dead func(*Entry)) {
-	for i := range t.ways {
-		e := &t.ways[i]
-		if !e.Valid {
-			continue
-		}
-		if countDAEC {
-			if e.Decode == e.Commit {
-				e.DAEC++
-			} else {
-				e.DAEC = 0
+	for w, word := range t.valid {
+		for b := word; b != 0; b &= b - 1 {
+			e := &t.ways[w<<6+bits.TrailingZeros64(b)]
+			if !e.Valid {
+				continue
 			}
-		}
-		e.Decode = e.Commit
-		if e.DAEC >= 2 && e.Issue == 0 {
-			if dead != nil {
-				dead(e)
+			if countDAEC {
+				if e.Decode == e.Commit {
+					e.DAEC++
+				} else {
+					e.DAEC = 0
+				}
 			}
-			t.Invalidate(e)
+			e.Decode = e.Commit
+			if e.DAEC >= 2 && e.Issue == 0 {
+				if dead != nil {
+					dead(e)
+				}
+				t.Invalidate(e)
+			}
 		}
 	}
 }

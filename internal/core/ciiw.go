@@ -36,7 +36,7 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 		if !e.valid {
 			continue
 		}
-		if e.pc == reconv {
+		if int(e.pc) == reconv {
 			reached = true
 		}
 		if !e.hasDest {
@@ -49,12 +49,12 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 		value := e.value
 		resolved := e.state == stDone || e.state == stExecuting
 		if resolved {
-			p.chainSet(e.physDest, value)
-		} else if e.state == stWaiting && !e.in.IsMem() && !e.in.IsControl() {
+			p.chainSet(int(e.physDest), value)
+		} else if e.state == stWaiting && !p.metaAt(int(e.pc)).isMem() && !p.metaAt(int(e.pc)).isControl() {
 			var vals [2]uint64
 			ok := true
-			for s := 0; s < e.nsrc; s++ {
-				ph := e.srcPhys[s]
+			for s := 0; s < int(e.nsrc); s++ {
+				ph := int(e.srcPhys[s])
 				switch {
 				case p.rf.Ready(ph):
 					vals[s] = p.rf.Value(ph)
@@ -71,15 +71,14 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 				continue
 			}
 			value = execALU(e.in, vals[0], vals[1])
-			p.chainSet(e.physDest, value)
+			p.chainSet(int(e.physDest), value)
 			resolved = true
 		}
 		if !resolved || !reached {
 			continue
 		}
 
-		srcs := e.in.SrcRegs(p.srcScratch[:0])
-		p.srcScratch = srcs[:0]
+		srcs := p.metaAt(int(e.pc)).srcRegs()
 		indep := true
 		for _, r := range srcs {
 			if mask.Has(r) {
@@ -90,10 +89,10 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 		if !indep {
 			continue
 		}
-		rec := iwReuse{pc: e.pc, seq: e.seq, nsrc: e.nsrc, value: value}
+		rec := iwReuse{pc: int(e.pc), seq: e.seq, nsrc: int(e.nsrc), value: value}
 		rec.writerSeq = e.srcWriterSeq
 		if len(p.iwTable[e.pc]) == 0 {
-			p.iwPCs = append(p.iwPCs, e.pc)
+			p.iwPCs = append(p.iwPCs, int(e.pc))
 		}
 		p.iwTable[e.pc] = append(p.iwTable[e.pc], rec)
 		p.iwLive++

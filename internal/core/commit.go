@@ -53,7 +53,7 @@ func (p *Proc) commitStage() {
 				}
 				h.value = archVal
 				h.addr = archAddr
-				p.rf.Write(h.physDest, archVal)
+				p.writeReg(int(h.physDest), archVal)
 				h.validated = false
 				h.reuseIW = false
 				p.replaySquash(idx)
@@ -66,8 +66,9 @@ func (p *Proc) commitStage() {
 				h.pc, in, h.value, archVal))
 		}
 
+		im := p.metaAt(int(h.pc))
 		switch {
-		case in.IsStore():
+		case im.isStore():
 			if storeBudget <= 0 {
 				return
 			}
@@ -90,17 +91,17 @@ func (p *Proc) commitStage() {
 					return
 				}
 			}
-		case in.IsLoad():
+		case im.isLoad():
 			p.Stats.Loads++
 			p.sp.Observe(uint64(h.pc), archAddr)
-		case in.IsCondBranch():
+		case im.isCondBr():
 			p.Stats.Branches++
 			p.Stats.CondBranches++
 			p.mbs.Update(uint64(h.pc), h.actTaken)
 			if p.nrbq != nil {
 				p.nrbq.RetireUpTo(h.seq)
 			}
-		case in.IsJump():
+		case im.isJump():
 			p.Stats.Branches++
 		}
 
@@ -113,17 +114,20 @@ func (p *Proc) commitStage() {
 // previous mapping's register, advances replica commit cursors, and
 // pops the ROB head.
 func (p *Proc) finishCommit(idx int, h *robEntry) {
-	if h.in.IsMem() {
+	if p.metaAt(int(h.pc)).isMem() {
 		p.lsqRemove(idx)
 	}
 	if h.hasDest {
 		p.arf[h.logDest] = h.value
+		// The previous-mapping checkpoint dies here: release its rename
+		// register and its stridedPC list slot.
+		p.releaseStrided(&h.oldRen)
 		if h.oldRen.phys >= 0 {
-			p.rf.Release(h.oldRen.phys)
+			p.rf.Release(int(h.oldRen.phys))
 			// A pending recurrence seed may have lived in that register.
 			if len(p.seedWatch) > 0 {
 				p.clearFreed()
-				p.noteFreed(h.oldRen.phys)
+				p.noteFreed(int(h.oldRen.phys))
 				p.failBrokenSeeds()
 			}
 		}
@@ -149,7 +153,7 @@ func (p *Proc) finishCommit(idx int, h *robEntry) {
 				if slot.State == ci.ReplicaWaiting {
 					// Never issued and now past the commit point:
 					// nothing will consume it.
-					ent.Settle(slot, ci.ReplicaFailed)
+					p.settleReplica(ent, slot, ci.ReplicaFailed)
 				}
 			}
 			ent.Commit++
@@ -174,8 +178,7 @@ func (p *Proc) storeRangeConflict(storeIdx int, addr uint64) bool {
 	p.srsmt.ForEachValid(func(ent *ci.Entry) bool {
 		if ent.CoversAddr(addr) {
 			conflict = true
-			p.releaseEntryStorage(ent)
-			p.srsmt.Invalidate(ent)
+			p.invalidateEntry(ent)
 		}
 		return true
 	})
@@ -185,12 +188,18 @@ func (p *Proc) storeRangeConflict(storeIdx int, addr uint64) bool {
 	p.Stats.StoreConflicts++
 	p.Stats.CoherenceSquashes++
 	p.squashAfter(storeIdx)
-	p.fetchPC = p.rob[storeIdx].pc + 1
+	p.fetchPC = int(p.rob[storeIdx].pc) + 1
 	p.fetchHalted = false
 	p.fetchStallUntil = 0
 	// Consumption cursors rewind to the committed point; DAEC is not a
-	// branch-misprediction counter, so it does not tick here.
-	p.srsmt.OnRecovery(false, nil)
+	// branch-misprediction counter, so it does not tick here. Entries
+	// it nonetheless reaps (DAEC already at 2, replicas now drained)
+	// must wake their consumer chains and release their replica
+	// storage, like every other teardown path.
+	p.srsmt.OnRecovery(false, func(dead *ci.Entry) {
+		p.wakeConsumers(dead)
+		p.releaseEntryStorage(dead)
+	})
 	p.resyncValidatedCursors()
 	p.failBrokenSeeds()
 	return true
@@ -200,11 +209,14 @@ func (p *Proc) storeRangeConflict(storeIdx int, addr uint64) bool {
 // instruction and restarts fetch after it.
 func (p *Proc) replaySquash(idx int) {
 	p.squashAfter(idx)
-	p.fetchPC = p.rob[idx].pc + 1
+	p.fetchPC = int(p.rob[idx].pc) + 1
 	p.fetchHalted = false
 	p.fetchStallUntil = 0
 	if p.srsmt != nil {
-		p.srsmt.OnRecovery(false, nil)
+		p.srsmt.OnRecovery(false, func(dead *ci.Entry) {
+			p.wakeConsumers(dead)
+			p.releaseEntryStorage(dead)
+		})
 		p.resyncValidatedCursors()
 	}
 	p.failBrokenSeeds()

@@ -14,8 +14,15 @@ import (
 // branches — the control-independence machinery activates (§2.3.1,
 // §2.4.4). Replicas are not squashed.
 func (p *Proc) completeStage() {
+	if len(p.execQ) == 0 || p.cycle < p.execMinDone {
+		// Nothing in flight can retire yet: execMinDone lower-bounds
+		// every doneAt in the queue (an under-estimate after squashes
+		// only costs a scan), so skipping the walk is exact.
+		return
+	}
 	recoverIdx := -1
 	var recoverSeq uint64
+	next := ^uint64(0)
 	out := p.execQ[:0]
 	for _, w := range p.execQ {
 		e := &p.rob[w.idx]
@@ -23,20 +30,24 @@ func (p *Proc) completeStage() {
 			continue
 		}
 		if e.doneAt > p.cycle {
+			if e.doneAt < next {
+				next = e.doneAt
+			}
 			out = append(out, w)
 			continue
 		}
 		e.state = stDone
 		e.executed = true
 		if e.hasDest {
-			p.rf.Write(e.physDest, e.value)
+			p.writeReg(int(e.physDest), e.value)
 		}
-		if e.in.IsLoad() && p.srsmt != nil && !e.fwdStore {
+		im := p.metaAt(int(e.pc))
+		if im.isLoad() && p.srsmt != nil && !e.fwdStore {
 			// A completed strided load anchors a fresh replica batch if
 			// the mechanism has selected it and no entry exists yet.
-			p.maybeVectorizeLoad(e.pc, e.in, e.addr, e.seq)
+			p.maybeVectorizeLoad(int(e.pc), e.in, e.addr, e.seq)
 		}
-		if e.in.IsCondBranch() {
+		if im.isCondBr() {
 			// Train the direction predictor at resolution with the
 			// history the prediction was made under.
 			p.bp.TrainAt(uint64(e.pc), e.actTaken, e.histSnapshot)
@@ -47,6 +58,7 @@ func (p *Proc) completeStage() {
 		}
 	}
 	p.execQ = out
+	p.execMinDone = next
 	if recoverIdx >= 0 {
 		// The entry may have been squashed by an older branch resolving
 		// in the same batch; recover only if it is still live.
@@ -75,7 +87,7 @@ func (p *Proc) recoverBranch(idx int) {
 	// window before it is squashed. Accumulation continues on the
 	// correct path via CRP.NoteFetch until the point is re-reached.
 	hard := p.mbs.Hard(uint64(e.pc)) || p.cfg.DisableMBSGate
-	reconv := ci.EstimateReconvergence(p.prog, e.pc)
+	reconv := ci.EstimateReconvergence(p.prog, int(e.pc))
 	var mask ci.RegMask
 	maskOK := p.nrbq != nil
 	if maskOK {
@@ -86,7 +98,7 @@ func (p *Proc) recoverBranch(idx int) {
 			if !we.valid {
 				continue
 			}
-			if we.pc == reconv {
+			if int(we.pc) == reconv {
 				break // wrong-path writes beyond the point do not count
 			}
 			if we.hasDest {
@@ -110,7 +122,7 @@ func (p *Proc) recoverBranch(idx int) {
 	p.bp.RestoreHistory(e.histSnapshot)
 	p.bp.SpeculativeShift(e.actTaken)
 
-	p.fetchPC = e.actTarget
+	p.fetchPC = int(e.actTarget)
 	p.fetchHalted = false
 	p.fetchStallUntil = 0
 
@@ -136,6 +148,7 @@ func (p *Proc) recoverBranch(idx int) {
 	// whose DAEC reaches 2 (§2.4.2).
 	if p.srsmt != nil {
 		p.srsmt.OnRecovery(!p.cfg.DisableDAEC, func(dead *ci.Entry) {
+			p.wakeConsumers(dead)
 			p.releaseEntryStorage(dead)
 		})
 		p.resyncValidatedCursors()
@@ -166,9 +179,14 @@ func (p *Proc) squashAfter(idx int) {
 			break
 		}
 		if e.hasDest {
+			// The squashed writer's own map entry (restored over here, or
+			// already moved into a younger sibling's checkpoint and
+			// restored from it) dies with the squash: release its
+			// stridedPC list before the overwrite.
+			p.releaseStrided(&p.ren[e.logDest])
 			p.ren[e.logDest] = e.oldRen
-			p.rf.Release(e.physDest)
-			p.noteFreed(e.physDest)
+			p.rf.Release(int(e.physDest))
+			p.noteFreed(int(e.physDest))
 		}
 		p.bp.RestoreHistory(e.histSnapshot)
 		e.valid = false
@@ -218,6 +236,11 @@ func (p *Proc) failBrokenSeeds() {
 		}
 		if p.wasFreed(ent.SeedPhys) {
 			ent.SeedBroken = true
+			if p.eventSched {
+				// Replica 0 may be parked on the seed; wake it so it
+				// discovers the break and fails.
+				p.unblockEntry(ent)
+			}
 			continue
 		}
 		live = append(live, ref)

@@ -167,6 +167,14 @@ type Config struct {
 	// mispredictions; this ablation measures what it buys).
 	DisableMBSGate bool
 
+	// NaiveScheduler selects the polled reference scheduler: issue
+	// re-scans the whole waiting list every cycle and blocked replicas
+	// re-attempt arbitration every cycle, as in PR 1. The default
+	// (false) is the event-driven wakeup engine, which is required to
+	// be observation-equivalent — the differential tests in
+	// internal/core compare the two bit-for-bit.
+	NaiveScheduler bool
+
 	// MaxInstr bounds committed instructions (0: run to halt).
 	MaxInstr uint64
 	// MaxCycles is a hard safety bound (0: 200M).

@@ -26,7 +26,7 @@ func (p *Proc) fetchStage() {
 	readyAt := p.cycle + uint64(p.cfg.FrontEndDepth)
 	for n := 0; n < p.cfg.FetchWidth; n++ {
 		in := p.prog.At(p.fetchPC)
-		f := fetchedInstr{pc: p.fetchPC, in: in, histSnapshot: p.bp.HistorySnapshot(), readyAt: readyAt}
+		f := fetchedInstr{pc: p.fetchPC, histSnapshot: p.bp.HistorySnapshot(), readyAt: readyAt}
 		switch {
 		case in.IsCondBranch():
 			f.predTaken = p.bp.Predict(uint64(f.pc))

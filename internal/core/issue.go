@@ -2,16 +2,27 @@ package core
 
 import "civect/internal/isa"
 
-// issueStage issues up to IssueWidth ready instructions oldest-first
-// from the waiting list, modeling functional-unit capacity, L1D port
-// arbitration and load/store-queue disambiguation ("loads may execute
-// when prior store addresses are known", with store-load forwarding).
-// Values are computed functionally at issue; they become visible at
-// writeback (doneAt).
+// issueStage issues up to IssueWidth ready instructions oldest-first,
+// modeling functional-unit capacity, L1D port arbitration and
+// load/store-queue disambiguation ("loads may execute when prior store
+// addresses are known", with store-load forwarding). Values are
+// computed functionally at issue; they become visible at writeback
+// (doneAt).
+//
+// The arbitration list is the naive full waiting list or the
+// event-driven ready list (sched.go); both are stamp-ordered, and
+// tryIssue has no side effects on operand-unready instructions, so the
+// two produce identical issue sequences. Entries that stay behind did
+// so for per-cycle resources (units, ports, budget) — or, on the naive
+// list, for operands — and are retried next cycle.
 func (p *Proc) issueStage() {
+	q := p.waitQ
+	if p.eventSched {
+		q = p.readyQ
+	}
 	issued := 0
-	out := p.waitQ[:0]
-	for _, w := range p.waitQ {
+	out := q[:0]
+	for _, w := range q {
 		e := &p.rob[w.idx]
 		if !e.valid || e.seq != w.seq || e.state != stWaiting {
 			continue // squashed, completed or re-routed
@@ -19,34 +30,42 @@ func (p *Proc) issueStage() {
 		if issued < p.cfg.IssueWidth && p.tryIssue(w.idx, e) {
 			issued++
 			p.execQ = append(p.execQ, w)
+			if e.doneAt < p.execMinDone {
+				p.execMinDone = e.doneAt
+			}
 			continue
 		}
 		out = append(out, w)
 	}
-	p.waitQ = out
+	if p.eventSched {
+		p.readyQ = out
+	} else {
+		p.waitQ = out
+	}
 	p.issueBudget = p.cfg.IssueWidth - issued
 }
 
 func (p *Proc) tryIssue(idx int, e *robEntry) bool {
 	// Operand readiness.
-	for i := 0; i < e.nsrc; i++ {
-		if !p.rf.Ready(e.srcPhys[i]) {
+	for i := 0; i < int(e.nsrc); i++ {
+		if !p.rf.Ready(int(e.srcPhys[i])) {
 			return false
 		}
 	}
 	in := e.in
+	im := p.metaAt(int(e.pc))
 	a, b := uint64(0), uint64(0)
 	if e.nsrc > 0 {
-		a = p.rf.Value(e.srcPhys[0])
+		a = p.rf.Value(int(e.srcPhys[0]))
 	}
 	if e.nsrc > 1 {
-		b = p.rf.Value(e.srcPhys[1])
+		b = p.rf.Value(int(e.srcPhys[1]))
 	}
 
 	switch {
-	case in.IsLoad():
+	case im.isLoad():
 		return p.tryIssueLoad(idx, e, a)
-	case in.IsStore():
+	case im.isStore():
 		// Stores compute address and value at issue (AGU, 1 cycle); the
 		// cache write happens at commit.
 		if p.aluFree <= 0 {
@@ -58,14 +77,14 @@ func (p *Proc) tryIssue(idx int, e *robEntry) bool {
 		e.doneAt = p.cycle + uint64(p.cfg.LatIntALU)
 		e.state = stExecuting
 		return true
-	case in.IsCondBranch():
+	case im.isCondBr():
 		if p.aluFree <= 0 {
 			return false
 		}
 		p.aluFree--
 		e.actTaken = (in.Op == isa.OpBEQZ && a == 0) || (in.Op == isa.OpBNEZ && a != 0)
 		if e.actTaken {
-			e.actTarget = in.Target
+			e.actTarget = int32(in.Target)
 		} else {
 			e.actTarget = e.pc + 1
 		}
@@ -110,7 +129,7 @@ func (p *Proc) tryIssueLoad(idx int, e *robEntry, base uint64) bool {
 		if se.seq >= e.seq {
 			break
 		}
-		if !se.in.IsStore() {
+		if !p.metaAt(int(se.pc)).isStore() {
 			continue
 		}
 		if se.state == stWaiting {

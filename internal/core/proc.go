@@ -29,87 +29,146 @@ const maxStridedPCs = 4
 
 // renEntry is one rename-map entry, including the paper's extensions:
 // the stridedPC list (§2.3.2) and the V/S bit plus producer sequence of
-// Figure 7.
+// Figure 7. The struct is copied constantly — source snapshots at every
+// rename, oldRen checkpoints in every ROB entry, tail-first restores at
+// every squash — so the hot fields are packed into 32-bit slots and the
+// cold stridedPC payload lives out of line in the processor's stride
+// pool; at 40 bytes the copies compile to plain moves instead of the
+// duffcopy calls the 80+-byte inline layout cost (~4% of ci-mode CPU).
 type renEntry struct {
-	phys int
 	// writerSeq is the dynamic sequence number of the last writer
 	// (0 when the value is architectural).
 	writerSeq uint64
+	// vecGen is the SRSMT generation backing vec; vecPC the writer's PC
+	// (the Seq field of Figure 7).
+	vecGen uint64
+	vecPC  uint64
+	// phys is the physical register (int32: register files are far
+	// below 2^31).
+	phys int32
 	// writerPC is the static instruction that last wrote the register
 	// (-1 initially); recurrence validation checks that an accumulator
 	// is still fed by its own previous instance.
-	writerPC int
+	writerPC int32
+	// strideRef indexes the stride pool's list slot; meaningful only
+	// when nStrided > 0. Ownership is linear: the slot moves with the
+	// entry (rename map -> oldRen checkpoint -> back on squash) and is
+	// released exactly once, at commit or squash-restore, by whoever
+	// overwrites or discards the owning copy. Source snapshots borrow.
+	strideRef int32
 	// vec marks the last writer as a vectorized (validated) instruction
-	// (the V/S bit); vecPC is its PC (the Seq field); vecGen the SRSMT
-	// generation backing it.
-	vec    bool
-	vecPC  uint64
-	vecGen uint64
-	// stridedPCs[:nStrided] lists the confident strided-load PCs in the
-	// value's backward slice (capped at Config.StridedPCsPerEntry). The
-	// list is stored inline so rename-map snapshots are plain copies.
-	stridedPCs [maxStridedPCs]uint64
-	nStrided   uint8
+	// (the V/S bit).
+	vec bool
+	// nStrided is the live length of the strideRef list.
+	nStrided uint8
 }
 
-// strided returns the live portion of the stridedPC list.
-func (r *renEntry) strided() []uint64 { return r.stridedPCs[:r.nStrided] }
+// stridePool stores the rename entries' stridedPC lists out of line, so
+// rename-map snapshot copies move 40 bytes instead of 100+. Slots are
+// recycled through a free list; see renEntry.strideRef for ownership.
+type stridePool struct {
+	lists [][maxStridedPCs]uint64
+	free  []int32
+}
 
-// robEntry is one in-flight instruction.
+// alloc takes a (dirty) list slot.
+func (sp *stridePool) alloc() int32 {
+	if n := len(sp.free); n > 0 {
+		i := sp.free[n-1]
+		sp.free = sp.free[:n-1]
+		return i
+	}
+	sp.lists = append(sp.lists, [maxStridedPCs]uint64{})
+	return int32(len(sp.lists) - 1)
+}
+
+// release returns a list slot to the free list.
+func (sp *stridePool) release(i int32) { sp.free = append(sp.free, i) }
+
+// inUse returns the number of live slots (accounting tests).
+func (sp *stridePool) inUse() int { return len(sp.lists) - len(sp.free) }
+
+// strided returns the live portion of a rename entry's stridedPC list.
+func (p *Proc) strided(r *renEntry) []uint64 {
+	if r.nStrided == 0 {
+		return nil
+	}
+	return p.stridePC.lists[r.strideRef][:r.nStrided]
+}
+
+// releaseStrided returns r's list slot to the pool. Call exactly once,
+// on the owning copy, when it dies (commit frees the oldRen checkpoint,
+// squash-restore frees the overwritten map entry).
+func (p *Proc) releaseStrided(r *renEntry) {
+	if r.nStrided != 0 {
+		p.stridePC.release(r.strideRef)
+	}
+}
+
+// robEntry is one in-flight instruction. It is zeroed at every rename
+// (robAlloc) and its scheduler-visible head is read constantly, so the
+// narrow fields are packed (int32 indices: windows, register files and
+// programs are all far below 2^31) and the flags share padding slots.
 type robEntry struct {
 	valid bool
-	seq   uint64
-	pc    int
-	in    isa.Instr
 	state instState
 
-	hasDest  bool
-	logDest  isa.Reg
-	physDest int
-	oldRen   renEntry
-
-	srcPhys [2]int
-	nsrc    int
-
-	// Branch bookkeeping.
+	hasDest      bool
 	predTaken    bool
-	histSnapshot uint64
 	actTaken     bool
-	actTarget    int
 	mispredicted bool
+	executed     bool // value/addr computed (for stores: ready for commit)
+	fwdStore     bool // load forwarded from an older store (no cache access)
+
+	ciSelected bool // control independent per the CRP mask
+	afterCRP   bool // fetched after the re-convergent point was reached
+	validated  bool // reused a precomputed value
+	reuseIW    bool // ci-iw squash reuse
+
+	// Speculative-memory copy micro-op state (§2.4.6).
+	copySched bool
+
+	logDest isa.Reg
+	nsrc    uint8
+
+	pc        int32
+	physDest  int32
+	actTarget int32
+	valIdx    int32
+	srcPhys   [2]int32
+
+	seq uint64
+	in  isa.Instr
+
+	oldRen renEntry
+
+	histSnapshot uint64
 
 	// Memory bookkeeping (set at execute).
-	addr     uint64
-	value    uint64
-	executed bool // value/addr computed (for stores: ready for commit)
-	fwdStore bool // load forwarded from an older store (no cache access)
+	addr  uint64
+	value uint64
 
 	doneAt uint64
 
 	// CI bookkeeping.
-	ciSelected bool   // control independent per the CRP mask
-	ciEpisode  uint64 // episode during which it was selected
-	afterCRP   bool   // fetched after the re-convergent point was reached
-	validated  bool   // reused a precomputed value
-	valEntry   *ci.Entry
-	valGen     uint64
-	valIdx     int
-	valSince   uint64 // cycle validation started (watchdog)
-	reuseIW    bool   // ci-iw squash reuse
+	ciEpisode uint64 // episode during which it was selected
+	valEntry  *ci.Entry
+	valGen    uint64
+	valSince  uint64 // cycle validation started (watchdog)
 
 	// srcWriterSeq records the dynamic producers of the source operands
 	// at rename time (squash-reuse matching).
 	srcWriterSeq [2]uint64
 
-	// Speculative-memory copy micro-op state (§2.4.6).
-	copySched   bool
 	copyReadyAt uint64
 }
 
-// fetchedInstr sits in the fetch buffer between fetch and rename.
+// fetchedInstr sits in the fetch buffer between fetch and rename. The
+// instruction itself is not carried along: rename re-reads it from the
+// (cache-hot) static program, which keeps the per-fetch buffer copies
+// at half the size.
 type fetchedInstr struct {
 	pc           int
-	in           isa.Instr
 	predTaken    bool
 	histSnapshot uint64
 	// readyAt is the cycle the instruction emerges from the front-end
@@ -128,10 +187,13 @@ type iwReuse struct {
 }
 
 // waitRef identifies a ROB entry on one of the scheduler lists; seq
-// detects slot reuse after squashes.
+// detects slot reuse after squashes. stamp is the dispatch order the
+// event-driven scheduler sorts the ready list by — the naive waiting
+// list only appends at the tail, so stamp order is its scan order.
 type waitRef struct {
-	idx int
-	seq uint64
+	idx   int
+	seq   uint64
+	stamp uint64
 }
 
 // entryRef identifies one incarnation of an SRSMT way on a worklist.
@@ -155,7 +217,11 @@ func (r entryRef) live() bool { return r.ent.Valid && r.ent.Gen == r.gen }
 type Proc struct {
 	cfg  Config
 	prog *isa.Program
-	mem  *mem.Memory
+	// imeta pre-decodes the static program (predecode.go); hot stages
+	// read instruction classes and operands from it instead of
+	// re-deriving them with opcode switches every cycle.
+	imeta []instrMeta
+	mem   *mem.Memory
 
 	// Architectural committed state.
 	arf    [isa.NumLogical]uint64
@@ -165,8 +231,10 @@ type Proc struct {
 	seq   uint64
 
 	ren [isa.NumLogical]renEntry
-	rf  *regfile.File
-	sm  *regfile.SpecMem
+	// stridePC backs the rename entries' out-of-line stridedPC lists.
+	stridePC stridePool
+	rf       *regfile.File
+	sm       *regfile.SpecMem
 
 	rob      []robEntry
 	robHead  int
@@ -230,17 +298,48 @@ type Proc struct {
 	iwChainEpoch uint64
 
 	// Scheduler lists: dispatched-not-issued, executing, and
-	// validation-pending ROB entries.
+	// validation-pending ROB entries. waitQ is the naive scheduler's
+	// scanned list; the event-driven scheduler (sched.go) replaces it
+	// with readyQ (operand-ready, stamp-sorted) plus the per-register
+	// park lists in regWaiters.
 	waitQ     []waitRef
 	execQ     []waitRef
 	validPend []waitRef
+	// execMinDone lower-bounds every doneAt in execQ so completeStage
+	// can skip whole scans while nothing is due.
+	execMinDone uint64
+
+	// Event-driven scheduler state (eventSched = !Config.NaiveScheduler).
+	eventSched bool
+	readyQ     []waitRef
+	regWaiters [][]waitRef
+	schedStamp uint64
+
+	// Replica-wakeup scan state (replica_sched.go): the worklist tick
+	// cursor (so mid-tick wakes insert consistently) and the slot-scan
+	// position of the entry currently being arbitrated (so within-turn
+	// unblocks respect the naive ascending ring order).
+	inTick      bool
+	tickIdx     int
+	scanEnt     *ci.Entry
+	scanVisited uint64
+	scanPos     int
+	// turnNextDone accumulates the earliest in-flight replica
+	// completion seen during the current entry turn; the turn stores it
+	// into Entry.NextDone.
+	turnNextDone uint64
+	// doneWheel is the replica-completion timing wheel: an entry whose
+	// only remaining work is in-flight executions delists and schedules
+	// a wake in the bucket of its NextDone cycle, so waiting out
+	// functional-unit and cache latency costs nothing per cycle. The
+	// wheel spans wheelSpan cycles; rarer longer waits keep polling.
+	doneWheel [wheelSpan][]entryRef
 
 	// Per-cycle budgets.
 	aluFree, mulFree int
 	issueBudget      int
 
 	// Scratch buffers reused across cycles.
-	srcScratch  []isa.Reg
 	pcScratch   []uint64
 	lsqFiltered []int
 
@@ -271,15 +370,16 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 	hcfg.WideBus = cfg.Mode.UsesWideBus()
 
 	p := &Proc{
-		cfg:  cfg,
-		prog: prog,
-		mem:  m,
-		rf:   regfile.NewFile(cfg.PhysRegs),
-		rob:  make([]robEntry, cfg.WindowSize),
-		hier: cache.NewHierarchy(hcfg),
-		bp:   bpred.NewGshare(cfg.GshareEntries),
-		mbs:  bpred.NewMBS(cfg.MBSSets, cfg.MBSAssoc),
-		sp:   stride.New(cfg.StrideSets, cfg.StrideAssoc),
+		cfg:   cfg,
+		prog:  prog,
+		imeta: predecode(prog),
+		mem:   m,
+		rf:    regfile.NewFile(cfg.PhysRegs),
+		rob:   make([]robEntry, cfg.WindowSize),
+		hier:  cache.NewHierarchy(hcfg),
+		bp:    bpred.NewGshare(cfg.GshareEntries),
+		mbs:   bpred.NewMBS(cfg.MBSSets, cfg.MBSAssoc),
+		sp:    stride.New(cfg.StrideSets, cfg.StrideAssoc),
 	}
 	if cfg.Mode == ModeCI || cfg.Mode == ModeCIIW {
 		p.nrbq = ci.NewNRBQ(cfg.NRBQEntries)
@@ -293,6 +393,30 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 	}
 	// Epoch 0 would make the zero-valued freedMark read as all-freed.
 	p.freedEpoch = 1
+	p.eventSched = !cfg.NaiveScheduler
+	if p.eventSched {
+		// Pre-size the wakeup structures so the steady state stays
+		// allocation-free: park lists for every physical register
+		// (bounded files; unbounded ones grow on demand) and completion
+		// wheel buckets. Deeper lists and buckets grow once and keep
+		// their capacity.
+		if cfg.PhysRegs > 0 {
+			// Park lists routinely reach a dozen waiters on a hot value
+			// register; 16 slots up front keeps per-run growth to the
+			// few registers that go deeper.
+			const parkCap = 16
+			p.regWaiters = make([][]waitRef, cfg.PhysRegs)
+			slab := make([]waitRef, len(p.regWaiters)*parkCap)
+			for r := range p.regWaiters {
+				p.regWaiters[r] = slab[r*parkCap : r*parkCap : (r+1)*parkCap]
+			}
+		}
+		const bucketCap = 4
+		wslab := make([]entryRef, wheelSpan*bucketCap)
+		for i := range p.doneWheel {
+			p.doneWheel[i] = wslab[i*bucketCap : i*bucketCap : (i+1)*bucketCap]
+		}
+	}
 	if cfg.SpecMemSize > 0 && cfg.Mode.Vectorizes() {
 		p.sm = regfile.NewSpecMem(cfg.SpecMemSize, cfg.SpecMemLat)
 	}
@@ -303,7 +427,7 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 			return nil, fmt.Errorf("core: register file too small for architectural state")
 		}
 		p.rf.Write(phys, 0)
-		p.ren[r] = renEntry{phys: phys, writerPC: -1}
+		p.ren[r] = renEntry{phys: int32(phys), writerPC: -1}
 	}
 	return p, nil
 }
@@ -340,6 +464,19 @@ func (p *Proc) Run() (*Stats, error) {
 	p.finalizeStats()
 	return &p.Stats, nil
 }
+
+// Step advances the pipeline by one cycle (a no-op once the program
+// has halted). It exposes the cycle loop to microbenchmarks and tools
+// that measure steady-state slices instead of whole runs; Run remains
+// the way to simulate a program to completion.
+func (p *Proc) Step() {
+	if !p.halted {
+		p.step()
+	}
+}
+
+// Halted reports whether the program has committed its halt.
+func (p *Proc) Halted() bool { return p.halted }
 
 func (p *Proc) headState() string {
 	if p.robCount == 0 {

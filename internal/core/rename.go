@@ -28,16 +28,17 @@ func (p *Proc) renameStage() {
 }
 
 func (p *Proc) tryRename(f *fetchedInstr) bool {
-	in := f.in
+	in := p.prog.At(f.pc)
+	im := p.metaAt(f.pc)
 
 	// Structural hazards: window, LSQ, rename register.
 	if p.robCount >= len(p.rob) {
 		return false
 	}
-	if in.IsMem() && len(p.lsq) >= p.cfg.LSQSize {
+	if im.isMem() && len(p.lsq) >= p.cfg.LSQSize {
 		return false
 	}
-	dest, hasDest := in.WritesReg()
+	dest, hasDest := im.dest, im.hasDest()
 	if hasDest {
 		need := 1
 		if p.cfg.Mode.Vectorizes() {
@@ -59,7 +60,7 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	idx := p.robAlloc()
 	e := &p.rob[idx]
 	e.seq = p.seq
-	e.pc = f.pc
+	e.pc = int32(f.pc)
 	e.in = in
 	e.state = stWaiting
 	e.physDest = -1
@@ -69,9 +70,8 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	e.logDest = dest
 	p.Stats.Fetched++
 
-	srcs := in.SrcRegs(p.srcScratch[:0])
-	p.srcScratch = srcs[:0]
-	e.nsrc = len(srcs)
+	srcs := im.srcRegs()
+	e.nsrc = uint8(len(srcs))
 	var srcSnap [2]renEntry
 	for i, r := range srcs {
 		srcSnap[i] = p.ren[r]
@@ -92,7 +92,7 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 				// Select the strided loads in the backward slice for
 				// speculative vectorization (set the S flag, §2.3.2).
 				for _, r := range srcs {
-					for _, lpc := range p.ren[r].strided() {
+					for _, lpc := range p.strided(&p.ren[r]) {
 						if se := p.sp.Lookup(lpc); se != nil {
 							se.S = true
 						}
@@ -103,12 +103,12 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 		// The control-independent region runs from the re-convergent
 		// point to the next conditional branch (Figure 1 boxes I11-I14);
 		// selection stops there.
-		if e.afterCRP && in.IsCondBranch() {
+		if e.afterCRP && im.isCondBr() {
 			p.crp.Deactivate()
 		}
 		// NRBQ maintenance: branches open a new write-mask region;
 		// destinations accumulate into the newest region.
-		if in.IsCondBranch() {
+		if im.isCondBr() {
 			p.nrbq.PushBranch(e.seq, uint64(f.pc), ci.EstimateReconvergence(p.prog, f.pc))
 		} else if hasDest {
 			p.nrbq.NoteDest(dest)
@@ -119,10 +119,10 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	// kept across the last recovery can be reused if the operands still
 	// come from the same dynamic producers.
 	if p.iwLive > 0 && hasDest {
-		if recs, head := p.iwTable[f.pc], p.iwHead[f.pc]; head < len(recs) && recs[head].nsrc == e.nsrc {
+		if recs, head := p.iwTable[f.pc], p.iwHead[f.pc]; head < len(recs) && recs[head].nsrc == int(e.nsrc) {
 			r := recs[head]
 			match := true
-			for i := 0; i < e.nsrc; i++ {
+			for i := 0; i < int(e.nsrc); i++ {
 				if e.srcWriterSeq[i] == r.writerSeq[i] {
 					continue
 				}
@@ -148,7 +148,7 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	}
 
 	// SRSMT validation (ModeCI/ModeVect, §2.3.4).
-	if p.srsmt != nil && !e.reuseIW && hasDest && !in.IsControl() {
+	if p.srsmt != nil && !e.reuseIW && hasDest && !im.isControl() {
 		if ent := p.srsmt.Lookup(uint64(f.pc)); ent != nil {
 			switch p.tryValidate(e, ent, srcSnap[:e.nsrc]) {
 			case valOK:
@@ -160,8 +160,7 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 				if debugTrace {
 					fmt.Fprintf(os.Stderr, "[%d] teardown pc=%d\n", p.cycle, f.pc)
 				}
-				p.releaseEntryStorage(ent)
-				p.srsmt.Invalidate(ent)
+				p.invalidateEntry(ent)
 			case valNoReplica:
 				// Batch exhausted: execute normally, keep the entry.
 			}
@@ -175,9 +174,9 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 			// FreeCount was checked above; this cannot happen.
 			panic("core: rename register vanished")
 		}
-		e.physDest = phys
+		e.physDest = int32(phys)
 		e.oldRen = p.ren[dest]
-		nre := renEntry{phys: phys, writerSeq: e.seq, writerPC: f.pc}
+		nre := renEntry{phys: int32(phys), writerSeq: e.seq, writerPC: int32(f.pc)}
 		if e.validated {
 			// Figure 7: validated instances set the V/S bit and the Seq
 			// field so dependents can vectorize and validate.
@@ -192,32 +191,31 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	// Vectorization trigger for dependents (§2.3.3). Loads are
 	// vectorized at commit, where their architectural address anchors
 	// the replica sequence exactly (see maybeVectorizeLoad).
-	if p.srsmt != nil && !e.validated && !e.reuseIW && !in.IsLoad() &&
-		hasDest && !in.IsControl() {
-		p.maybeVectorizeArith(f.pc, in, srcSnap[:e.nsrc], e.physDest, e.seq)
+	if p.srsmt != nil && !e.validated && !e.reuseIW && !im.isLoad() &&
+		hasDest && !im.isControl() {
+		p.maybeVectorizeArith(f.pc, in, srcSnap[:e.nsrc], int(e.physDest), e.seq)
 	}
 
 	// Dispatch.
-	ref := waitRef{idx: idx, seq: e.seq}
 	switch {
 	case e.reuseIW:
 		e.state = stDone
 		e.executed = true
-		p.rf.Write(e.physDest, e.value)
+		p.writeReg(int(e.physDest), e.value)
 	case e.validated:
 		e.state = stValidPend
 		e.valSince = p.cycle
-		p.validPend = append(p.validPend, ref)
-	case in.Op == isa.OpNop || in.Op == isa.OpHalt || in.IsJump():
+		p.validPend = append(p.validPend, waitRef{idx: idx, seq: e.seq})
+	case in.Op == isa.OpNop || in.Op == isa.OpHalt || im.isJump():
 		// Nothing to execute: jumps are resolved at fetch (direct
 		// targets), nop and halt produce nothing.
 		e.state = stDone
 		e.executed = true
 	default:
-		if in.IsMem() {
+		if im.isMem() {
 			p.lsq = append(p.lsq, idx)
 		}
-		p.waitQ = append(p.waitQ, ref)
+		p.enqueueWaiting(idx, e)
 	}
 	return true
 }
@@ -238,14 +236,15 @@ func (p *Proc) iwRemapped(seq uint64) uint64 {
 // propagateStridedPCs fills nre's stridedPC list (§2.3.2): loads with a
 // confident stride predictor entry start a list with their own PC;
 // arithmetic instructions propagate the union of their sources' lists,
-// capped at StridedPCsPerEntry. The union is built in-place; nothing
-// escapes to the heap.
+// capped at StridedPCsPerEntry. The union is built in-place and stored
+// in a pooled stride-pool slot; nothing escapes to the heap.
 func (p *Proc) propagateStridedPCs(nre *renEntry, pc int, in isa.Instr, snap []renEntry) {
-	if in.IsLoad() {
+	if p.metaAt(pc).isLoad() {
 		if se := p.sp.Lookup(uint64(pc)); se != nil && se.Confident() && se.Stride != 0 {
 			p.Stats.StridedPCsSum++
 			p.Stats.StridedPCsCount++
-			nre.stridedPCs[0] = uint64(pc)
+			nre.strideRef = p.stridePC.alloc()
+			p.stridePC.lists[nre.strideRef][0] = uint64(pc)
 			nre.nStrided = 1
 		}
 		return
@@ -266,16 +265,16 @@ func (p *Proc) propagateStridedPCs(nre *renEntry, pc int, in isa.Instr, snap []r
 	case na == 0 && nb == 0:
 		return
 	case nb == 0:
-		p.finishStridedPCs(nre, snap[0].strided())
+		p.finishStridedPCs(nre, p.strided(&snap[0]))
 		return
 	case na == 0:
-		p.finishStridedPCs(nre, snap[1].strided())
+		p.finishStridedPCs(nre, p.strided(&snap[1]))
 		return
 	}
 	// The union counts every distinct PC for the Figure 4 average, even
 	// beyond the propagation cap.
-	u := append(p.pcScratch[:0], snap[0].strided()...)
-	for _, lpc := range snap[1].strided() {
+	u := append(p.pcScratch[:0], p.strided(&snap[0])...)
+	for _, lpc := range p.strided(&snap[1]) {
 		dup := false
 		for _, have := range u {
 			if have == lpc {
@@ -292,12 +291,13 @@ func (p *Proc) propagateStridedPCs(nre *renEntry, pc int, in isa.Instr, snap []r
 }
 
 // finishStridedPCs records the union statistics and stores the capped
-// list inline in the rename entry.
+// list in a fresh stride-pool slot owned by the rename entry.
 func (p *Proc) finishStridedPCs(nre *renEntry, u []uint64) {
 	p.Stats.StridedPCsSum += uint64(len(u))
 	p.Stats.StridedPCsCount++
 	if len(u) > p.cfg.StridedPCsPerEntry {
 		u = u[:p.cfg.StridedPCsPerEntry]
 	}
-	nre.nStrided = uint8(copy(nre.stridedPCs[:], u))
+	nre.strideRef = p.stridePC.alloc()
+	nre.nStrided = uint8(copy(p.stridePC.lists[nre.strideRef][:], u))
 }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math/bits"
+
+	"civect/internal/ci"
+)
+
+// Event-driven replica arbitration.
+//
+// The naive reference (PR 1, retained behind Config.NaiveScheduler)
+// re-attempts every waiting replica every cycle: a replica blocked on
+// its producer replica resolves its operands, discovers they are still
+// in flight, and returns — ~10% of ci-mode CPU doing nothing. The
+// event-driven engine parks such replicas (Entry.BlockedMask) and
+// re-arms them only when something that could change the answer
+// happens:
+//
+//   - a replica of the same entry settles (recurrence chains, and the
+//     within-turn forward cascade of the naive ascending ring scan);
+//   - a replica of a producer entry settles, the producer's allocation
+//     frontier advances, or the producer dies (OperandVec chains,
+//     via Entry.Consumers);
+//   - the recurrence seed resolves or breaks.
+//
+// Arbitration order is preserved bit-for-bit. Entries wake through
+// activateEntry, which re-inserts them at their creation-stamp
+// position; when a wake lands mid-replicaTick the insertion index is
+// reconciled with the tick cursor so an entry whose stamp position has
+// already passed this cycle waits for the next one, exactly like the
+// naive scan. Within an entry's turn, slots unblocked at or below the
+// current scan position are deferred to the next cycle (the naive scan
+// visits each ring index once, ascending), while slots above it are
+// picked up this turn — the naive forward cascade.
+//
+// Squash/recycle hygiene: Settle clears both masks, ring reinit clears
+// BlockedMask, and entry invalidation wakes the consumer chain before
+// the way is cleared, so no blocked replica can survive into — or leak
+// a wakeup into — a way's next incarnation.
+
+// wheelSpan is the replica completion wheel's horizon in cycles: a
+// power of two comfortably above the deepest cache-miss latency, so
+// practically every in-flight completion gets an exact wake slot.
+const wheelSpan = 512
+
+// replicaTickEvent is the event-driven replicaTick. Entries whose
+// every pending replica is blocked (and with no completion, seed or
+// top-up work) park off the worklist entirely; entries only waiting
+// out execution latency delist onto the completion wheel; everything
+// else mirrors the naive turn.
+func (p *Proc) replicaTickEvent() {
+	// Wake the entries whose completion cycle has arrived, before the
+	// arbitration walk, so they take their stamp-ordered turn this
+	// cycle exactly as a never-delisted scan would.
+	bucket := p.doneWheel[p.cycle&(wheelSpan-1)]
+	if len(bucket) > 0 {
+		for _, ref := range bucket {
+			if ref.live() {
+				p.activateEntry(ref.ent)
+			}
+		}
+		p.doneWheel[p.cycle&(wheelSpan-1)] = bucket[:0]
+	}
+	p.inTick = true
+	retired := 0
+	for p.tickIdx = 0; p.tickIdx < len(p.activeEntries); p.tickIdx++ {
+		ref := p.activeEntries[p.tickIdx]
+		if ref.ent == nil {
+			continue // listing retired earlier this tick
+		}
+		if !ref.live() {
+			p.activeEntries[p.tickIdx].ent = nil
+			retired++
+			continue
+		}
+		ent := ref.ent
+		small := len(ent.Replicas) <= 64
+		if ent.Issue == 0 &&
+			(ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0) &&
+			ent.Alloc-ent.Decode >= ent.NRegs {
+			idle := ent.Pending == 0
+			if small {
+				// Blocked slots are wake-covered; only actionable ones
+				// need a listing.
+				idle = ent.ActiveMask == 0
+			}
+			if idle {
+				// Hysteresis: entries re-woken every cycle or two (the
+				// steady commit-refill rhythm) keep their listing rather
+				// than paying a sorted re-insertion per wake; only
+				// persistently idle ones park.
+				if ent.Idle < 8 {
+					ent.Idle++
+					continue
+				}
+				ent.Listed = false
+				p.activeEntries[p.tickIdx].ent = nil
+				retired++
+				continue
+			}
+			if p.issueBudget <= 0 {
+				continue // nothing can issue; keep the listing
+			}
+		} else if small && p.cycle < ent.NextDone &&
+			ent.ActiveMask&^ent.IssuedMask == 0 &&
+			(ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0) &&
+			ent.Alloc-ent.Decode >= ent.NRegs {
+			// Only in-flight executions remain and none retires yet:
+			// every turn until NextDone would poll DoneAt and do
+			// nothing else (NextDone never over-estimates). Sleep on
+			// the completion wheel when its horizon covers the wait;
+			// an intervening operand wake re-lists the entry early and
+			// the then-redundant wheel wake is a no-op.
+			if ent.NextDone-p.cycle < wheelSpan {
+				ent.Listed = false
+				p.activeEntries[p.tickIdx].ent = nil
+				retired++
+				p.doneWheel[ent.NextDone&(wheelSpan-1)] = append(
+					p.doneWheel[ent.NextDone&(wheelSpan-1)],
+					entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp})
+			}
+			continue
+		}
+		ent.Idle = 0
+		if p.captureSeed(ent) {
+			p.unblockEntry(ent)
+		}
+		if small {
+			p.scanEnt, p.scanVisited = ent, 0
+			p.turnNextDone = ^uint64(0)
+			for {
+				m := ent.ActiveMask &^ p.scanVisited
+				if m == 0 {
+					break
+				}
+				j := bits.TrailingZeros64(m)
+				p.scanPos = j
+				p.scanVisited |= 1 << uint(j)
+				p.replicaSlotTick(ent, &ent.Replicas[j])
+			}
+			p.scanEnt = nil
+			ent.NextDone = p.turnNextDone
+		} else {
+			for i := range ent.Replicas {
+				if ent.Replicas[i].Abs < 0 {
+					continue
+				}
+				p.replicaSlotTick(ent, &ent.Replicas[i])
+			}
+		}
+		if needSpawn(ent) {
+			p.spawnReplicas(ent)
+		}
+	}
+	p.inTick = false
+	if retired > 0 {
+		live := p.activeEntries[:0]
+		for _, ref := range p.activeEntries {
+			if ref.ent != nil {
+				live = append(live, ref)
+			}
+		}
+		p.activeEntries = live
+	}
+}
+
+// settleReplica retires a pending slot and fires the wakeups its state
+// change enables: the entry's own chained replicas (recurrences) and
+// the consumer entries reading this entry's replicas.
+func (p *Proc) settleReplica(ent *ci.Entry, slot *ci.Replica, st ci.ReplicaState) {
+	ent.Settle(slot, st)
+	if p.eventSched {
+		// Inline fast paths: most settles find nothing parked on them.
+		if ent.BlockedMask != 0 || !ent.Listed {
+			p.unblockEntry(ent)
+		}
+		if len(ent.Consumers) != 0 {
+			p.wakeConsumers(ent)
+		}
+	}
+}
+
+// blockSlot parks a waiting replica whose operand resolution returned
+// inputWait. Rings beyond the mask width never block (they keep the
+// naive per-cycle re-attempt), and the naive scheduler never blocks.
+func (p *Proc) blockSlot(ent *ci.Entry, slot *ci.Replica) {
+	if p.eventSched && len(ent.Replicas) <= 64 {
+		ent.Block(slot)
+	}
+}
+
+// unblockEntry re-arms an entry's blocked replicas and (re-)lists it
+// for arbitration. When the entry is the one currently being scanned,
+// slots at or below the scan position already had their naive-order
+// look this cycle and are deferred to the next one.
+func (p *Proc) unblockEntry(ent *ci.Entry) {
+	if m := ent.Unblock(); m != 0 && ent == p.scanEnt {
+		p.scanVisited |= m & (1<<uint(p.scanPos+1) - 1)
+	}
+	if !ent.Listed {
+		p.activateEntry(ent)
+	}
+}
+
+// wakeConsumers wakes every live entry chained to producer ent,
+// compacting dead incarnations from the chain as it goes.
+func (p *Proc) wakeConsumers(ent *ci.Entry) {
+	if len(ent.Consumers) == 0 {
+		return
+	}
+	live := ent.Consumers[:0]
+	for _, c := range ent.Consumers {
+		if !c.Live() {
+			continue
+		}
+		p.unblockEntry(c.Ent)
+		live = append(live, c)
+	}
+	ent.Consumers = live
+}
+
+// invalidateEntry tears an entry down: its consumer chain is woken (so
+// their blocked replicas re-resolve and fail, exactly when the naive
+// re-attempt would discover the death), its replica storage released,
+// and the way invalidated.
+func (p *Proc) invalidateEntry(ent *ci.Entry) {
+	p.wakeConsumers(ent)
+	p.releaseEntryStorage(ent)
+	p.srsmt.Invalidate(ent)
+}

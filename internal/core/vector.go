@@ -36,7 +36,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 		// happen with PC-indexed programs, but stay defensive).
 		return valFail
 	}
-	if in.IsLoad() {
+	if ent.IsLoad {
 		// "For a load, the stride must keep on being the same."
 		se := p.sp.Lookup(uint64(e.pc))
 		if se == nil || !se.Confident() || se.Stride != ent.Stride {
@@ -47,7 +47,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 		// Arithmetic: the producers currently found in the rename table
 		// must match the seq1/seq2 identities recorded at vectorization.
 		refs := [2]ci.OperandRef{ent.Src1, ent.Src2}
-		for i := 0; i < e.nsrc; i++ {
+		for i := 0; i < int(e.nsrc); i++ {
 			switch refs[i].Kind {
 			case ci.OperandVec:
 				// The operand must still be produced by the same static
@@ -57,7 +57,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 				// consumer instance, so its cursor must sit at
 				// Base + Decode + 1 when this instance validates.
 				prod := p.srsmt.Lookup(refs[i].PC)
-				if snap[i].writerPC != int(refs[i].PC) ||
+				if int64(snap[i].writerPC) != int64(refs[i].PC) ||
 					prod == nil || prod.Gen != refs[i].Gen ||
 					prod.Decode != refs[i].Base+ent.Decode+1 {
 					p.Stats.ValFailVec++
@@ -74,8 +74,8 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 			case ci.OperandScalar:
 				// The scalar operand's value must be unchanged; an
 				// unready or different value fails conservatively.
-				if snap[i].vec || !p.rf.Ready(snap[i].phys) ||
-					p.rf.Value(snap[i].phys) != refs[i].Value {
+				if snap[i].vec || !p.rf.Ready(int(snap[i].phys)) ||
+					p.rf.Value(int(snap[i].phys)) != refs[i].Value {
 					p.Stats.ValFailScalar++
 					return valFail
 				}
@@ -116,7 +116,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 	e.validated = true
 	e.valEntry = ent
 	e.valGen = ent.Gen
-	e.valIdx = ent.Decode
+	e.valIdx = int32(ent.Decode)
 	ent.Decode++
 	p.srsmt.Touch(ent)
 	p.spawnReplicas(ent)
@@ -151,8 +151,7 @@ func (p *Proc) maybeVectorizeLoad(pc int, in isa.Instr, addr uint64, creatorSeq 
 		return
 	}
 	if w.Valid {
-		p.releaseEntryStorage(w)
-		p.srsmt.Invalidate(w)
+		p.invalidateEntry(w)
 	}
 	ent := p.srsmt.Init(w, uint64(pc), in)
 	ent.IsLoad = true
@@ -188,12 +187,22 @@ func (p *Proc) enlistNew(ent *ci.Entry) {
 // activateEntry re-inserts a parked entry into the worklist at its
 // stamp position, so it competes for replica issue bandwidth exactly
 // where a never-parked scan would have placed it. Call it after any
-// cursor movement that can create replica work.
+// cursor movement that can create replica work, and from the wakeup
+// engine. Wakes landing mid-replicaTick reconcile the insertion index
+// with the tick cursor: an entry whose stamp position the tick has
+// already passed keeps its listing but waits for the next cycle, just
+// as the naive scan would have found nothing actionable at its turn.
 func (p *Proc) activateEntry(ent *ci.Entry) {
 	if ent.Listed || !ent.Valid {
-		return
+		return // inlinable fast path: most activations find the entry listed
 	}
+	p.listEntry(ent)
+}
+
+// listEntry is activateEntry's insertion slow path.
+func (p *Proc) listEntry(ent *ci.Entry) {
 	ent.Listed = true
+	ent.Idle = 0
 	i, j := 0, len(p.activeEntries)
 	for i < j {
 		m := (i + j) / 2
@@ -206,6 +215,9 @@ func (p *Proc) activateEntry(ent *ci.Entry) {
 	p.activeEntries = append(p.activeEntries, entryRef{})
 	copy(p.activeEntries[i+1:], p.activeEntries[i:])
 	p.activeEntries[i] = entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp}
+	if p.inTick && i <= p.tickIdx {
+		p.tickIdx++
+	}
 }
 
 // inflightInstances counts decoded dynamic instances of the static
@@ -216,7 +228,7 @@ func (p *Proc) inflightInstances(pc int, creatorSeq uint64) int {
 	n := 0
 	i := p.robHead
 	for c := 0; c < p.robCount; c++ {
-		if p.rob[i].valid && p.rob[i].pc == pc && p.rob[i].seq > creatorSeq {
+		if p.rob[i].valid && int(p.rob[i].pc) == pc && p.rob[i].seq > creatorSeq {
 			n++
 		}
 		i = p.robIndexAfter(i)
@@ -248,12 +260,11 @@ func (p *Proc) maybeVectorizeArith(pc int, in isa.Instr, snap []renEntry, destPh
 
 	var refs [2]ci.OperandRef
 	seedPhys := -1
-	srcs := in.SrcRegs(p.srcScratch[:0])
-	p.srcScratch = srcs[:0]
+	srcs := p.metaAt(pc).srcRegs()
 	for i := range snap {
 		sn := snap[i]
 		switch {
-		case (srcs[i] == in.Rd && sn.writerPC == pc) || (sn.vec && sn.vecPC == uint64(pc)):
+		case (srcs[i] == in.Rd && int(sn.writerPC) == pc) || (sn.vec && sn.vecPC == uint64(pc)):
 			// A genuine loop-carried recurrence: the operand register
 			// is this instruction's own destination AND its current
 			// value comes from this instruction's previous instance.
@@ -268,12 +279,12 @@ func (p *Proc) maybeVectorizeArith(pc int, in isa.Instr, snap []renEntry, destPh
 			}
 			refs[i] = ci.OperandRef{Kind: ci.OperandVec, PC: sn.vecPC, Gen: sn.vecGen, Prod: prod, Base: prod.Decode}
 		default:
-			if !p.rf.Ready(sn.phys) {
+			if !p.rf.Ready(int(sn.phys)) {
 				// The paper stalls decode until the scalar value is
 				// ready; we skip vectorizing this time instead.
 				return
 			}
-			refs[i] = ci.OperandRef{Kind: ci.OperandScalar, Value: p.rf.Value(sn.phys)}
+			refs[i] = ci.OperandRef{Kind: ci.OperandScalar, Value: p.rf.Value(int(sn.phys))}
 		}
 	}
 
@@ -282,12 +293,24 @@ func (p *Proc) maybeVectorizeArith(pc int, in isa.Instr, snap []renEntry, destPh
 		return
 	}
 	if w.Valid {
-		p.releaseEntryStorage(w)
-		p.srsmt.Invalidate(w)
+		p.invalidateEntry(w)
 	}
 	ent := p.srsmt.Init(w, uint64(pc), in)
 	ent.Src1, ent.Src2 = refs[0], refs[1]
 	ent.NSrc = uint8(len(srcs))
+	// Chain onto the producers' wakeup lists so replicas blocked on
+	// their values are re-armed when those values settle. (AllocCandidate
+	// may have recycled a producer's way for this very entry; the stale
+	// generation in the ref makes such a chain resolve to inputFail, and
+	// the registration is dropped on the first wake.)
+	if p.eventSched {
+		if ent.Src1.Kind == ci.OperandVec {
+			ent.Src1.Prod.AddConsumer(ent)
+		}
+		if ent.Src2.Kind == ci.OperandVec && ent.Src2.Prod != ent.Src1.Prod {
+			ent.Src2.Prod.AddConsumer(ent)
+		}
+	}
 	ent.CreatorSeq = creatorSeq
 	ent.SeedPhys = -1
 	if seedPhys >= 0 {
@@ -333,9 +356,26 @@ func needSpawn(ent *ci.Entry) bool { return ent.Alloc-ent.Decode < ent.NRegs }
 // overwrite, and a validation that finds its slot recycled simply falls
 // back to normal execution.
 func (p *Proc) spawnReplicas(ent *ci.Entry) {
+	allocBefore := ent.Alloc
 	if ent.Alloc < ent.Decode {
 		ent.Alloc = ent.Decode
 	}
+	p.fillBatch(ent)
+	// An allocation-frontier move changes what blocked replicas would
+	// resolve: consumers may be parked on it (or on slots just recycled
+	// or turned into holes by the cursor fixup), and the entry's own
+	// recurrence chain may be parked on a predecessor slot that was
+	// just overwritten. Re-arm both — including when fillBatch bailed
+	// out on exhausted storage after a partial spawn.
+	if ent.Alloc != allocBefore && p.eventSched {
+		p.unblockEntry(ent)
+		p.wakeConsumers(ent)
+	}
+}
+
+// fillBatch allocates replicas up to the batch-ahead bound, stopping
+// early when replica storage runs out.
+func (p *Proc) fillBatch(ent *ci.Entry) {
 	for ent.Alloc-ent.Decode < ent.NRegs {
 		var dest int
 		if p.sm != nil {
@@ -367,13 +407,19 @@ func (p *Proc) spawnReplicas(ent *ci.Entry) {
 		}
 		if slot.State == ci.ReplicaIssued {
 			ent.Issue--
+			// NextDone may now under-estimate; that only costs a scan.
+			ent.IssuedMask &^= 1 << (uint(ent.Alloc) & uint(len(ent.Replicas)-1) & 63)
 		}
 		// The new occupant is Waiting; count it unless the old occupant
 		// was already Waiting/Issued (unused slots have Abs < 0).
 		if slot.Abs < 0 || slot.State == ci.ReplicaDone || slot.State == ci.ReplicaFailed {
 			ent.Pending++
 		}
-		ent.ActiveMask |= 1 << (uint(ent.Alloc) & uint(len(ent.Replicas)-1) & 63)
+		// The new occupant is actionable: arm its bit and clear any
+		// blocked listing the overwritten slot left behind.
+		bit := uint64(1) << (uint(ent.Alloc) & uint(len(ent.Replicas)-1) & 63)
+		ent.ActiveMask |= bit
+		ent.BlockedMask &^= bit
 		*slot = ci.Replica{State: ci.ReplicaWaiting, Abs: ent.Alloc, Dest: dest}
 		if ent.IsLoad {
 			slot.Addr = ent.BatchBase + uint64(ent.Stride*int64(ent.Alloc+1))
@@ -405,8 +451,7 @@ func (p *Proc) reclaimIdleEntries() {
 	}
 	p.srsmt.ForEachValid(func(ent *ci.Entry) bool {
 		if ent.Deallocatable() {
-			p.releaseEntryStorage(ent)
-			p.srsmt.Invalidate(ent)
+			p.invalidateEntry(ent)
 		}
 		return true
 	})
@@ -496,9 +541,15 @@ func (p *Proc) resolveReplicaInput(ent *ci.Entry, ref *ci.OperandRef, abs int) (
 // through the speculative memory's write ports when configured), then
 // issues waiting replicas with the cycle's leftover issue bandwidth and
 // functional units — replicas have lower priority than scalar
-// instructions (§2.4.1) — and finally tops up the batches.
+// instructions (§2.4.1) — and finally tops up the batches. The body
+// below is the naive reference scan; the default event-driven engine
+// lives in replica_sched.go.
 func (p *Proc) replicaTick() {
 	if p.srsmt == nil {
+		return
+	}
+	if p.eventSched {
+		p.replicaTickEvent()
 		return
 	}
 	live := p.activeEntries[:0]
@@ -557,13 +608,19 @@ func (p *Proc) replicaSlotTick(ent *ci.Entry, slot *ci.Replica) {
 		if slot.DoneAt <= p.cycle {
 			if p.sm != nil {
 				if slot.Dest < 0 || !p.sm.TryWrite(slot.Dest, slot.Value) {
-					return // retry next cycle (write ports busy)
+					// Retry next cycle (write ports busy).
+					if p.cycle+1 < p.turnNextDone {
+						p.turnNextDone = p.cycle + 1
+					}
+					return
 				}
 			} else if slot.Dest >= 0 {
 				p.rf.Write(slot.Dest, slot.Value)
 			}
-			ent.Settle(slot, ci.ReplicaDone)
+			p.settleReplica(ent, slot, ci.ReplicaDone)
 			ent.Issue--
+		} else if slot.DoneAt < p.turnNextDone {
+			p.turnNextDone = slot.DoneAt
 		}
 	case ci.ReplicaWaiting:
 		// Issue replicas the pipeline can still consume: those at or
@@ -576,17 +633,20 @@ func (p *Proc) replicaSlotTick(ent *ci.Entry, slot *ci.Replica) {
 
 // captureSeed latches a pending OperandSelf seed value once its
 // physical register produces, or marks it broken if the register was
-// reclaimed first.
-func (p *Proc) captureSeed(ent *ci.Entry) {
+// reclaimed first. It reports whether the seed resolved either way,
+// so the event-driven scheduler can wake replicas blocked on it.
+// (Entries with a pending seed never park, so polling here keeps the
+// exact naive capture timing.)
+func (p *Proc) captureSeed(ent *ci.Entry) bool {
 	if ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0 {
-		return
+		return false
 	}
 	if !p.rf.Allocated(ent.SeedPhys) {
 		ent.SeedBroken = true
-		return
+		return true
 	}
 	if !p.rf.Ready(ent.SeedPhys) {
-		return
+		return false
 	}
 	v := p.rf.Value(ent.SeedPhys)
 	if ent.Src1.Kind == ci.OperandSelf {
@@ -596,6 +656,7 @@ func (p *Proc) captureSeed(ent *ci.Entry) {
 		ent.Src2.Value = v
 	}
 	ent.SeedCaptured = true
+	return true
 }
 
 // tryIssueReplica attempts to issue one waiting replica.
@@ -608,6 +669,10 @@ func (p *Proc) tryIssueReplica(ent *ci.Entry, abs int, slot *ci.Replica) {
 		slot.Value = p.mem.Read64(slot.Addr)
 		slot.State = ci.ReplicaIssued
 		slot.DoneAt = p.cycle + uint64(r.Lat)
+		ent.MarkIssued(slot)
+		if slot.DoneAt < p.turnNextDone {
+			p.turnNextDone = slot.DoneAt
+		}
 		ent.Issue++
 		p.issueBudget--
 		return
@@ -621,9 +686,10 @@ func (p *Proc) tryIssueReplica(ent *ci.Entry, abs int, slot *ci.Replica) {
 		v, st := p.resolveReplicaInput(ent, refs[i], abs)
 		switch st {
 		case inputFail:
-			ent.Settle(slot, ci.ReplicaFailed)
+			p.settleReplica(ent, slot, ci.ReplicaFailed)
 			return
 		case inputWait:
+			p.blockSlot(ent, slot)
 			return
 		}
 		vals[i] = v
@@ -643,6 +709,10 @@ func (p *Proc) tryIssueReplica(ent *ci.Entry, abs int, slot *ci.Replica) {
 	slot.Value = execALU(in, vals[0], vals[1])
 	slot.State = ci.ReplicaIssued
 	slot.DoneAt = p.cycle + uint64(lat)
+	ent.MarkIssued(slot)
+	if slot.DoneAt < p.turnNextDone {
+		p.turnNextDone = slot.DoneAt
+	}
 	ent.Issue++
 	p.issueBudget--
 }
@@ -673,14 +743,14 @@ func (p *Proc) advanceValidated() {
 			p.fallbackToExec(w.idx)
 			continue
 		}
-		slot := ent.Slot(e.valIdx)
+		slot := ent.Slot(int(e.valIdx))
 		if slot == nil || slot.State == ci.ReplicaFailed {
 			p.fallbackToExec(w.idx)
 			continue
 		}
 		if ent.IsLoad && !e.executed {
 			// Address check: wait for the base register, then compare.
-			if !p.rf.Ready(e.srcPhys[0]) {
+			if !p.rf.Ready(int(e.srcPhys[0])) {
 				if p.cycle-e.valSince > validationPatience {
 					p.fallbackToExec(w.idx)
 					continue
@@ -688,14 +758,13 @@ func (p *Proc) advanceValidated() {
 				out = append(out, w)
 				continue
 			}
-			addr := p.rf.Value(e.srcPhys[0]) + uint64(e.in.Imm)
+			addr := p.rf.Value(int(e.srcPhys[0])) + uint64(e.in.Imm)
 			if addr != slot.Addr {
 				// The replica sequence does not line up with this
 				// dynamic instance: deallocate and re-vectorize later.
 				p.Stats.ValidationFails++
 				p.Stats.ValFailAddr++
-				p.releaseEntryStorage(ent)
-				p.srsmt.Invalidate(ent)
+				p.invalidateEntry(ent)
 				p.fallbackToExec(w.idx)
 				continue
 			}
@@ -705,7 +774,7 @@ func (p *Proc) advanceValidated() {
 		if slot.State == ci.ReplicaDone {
 			if p.sm == nil {
 				e.value = slot.Value
-				p.rf.Write(e.physDest, e.value)
+				p.writeReg(int(e.physDest), e.value)
 				e.state = stDone
 				e.executed = true
 				continue
@@ -726,7 +795,7 @@ func (p *Proc) advanceValidated() {
 				continue
 			}
 			if p.cycle >= e.copyReadyAt {
-				p.rf.Write(e.physDest, e.value)
+				p.writeReg(int(e.physDest), e.value)
 				e.state = stDone
 				e.executed = true
 				continue
@@ -777,7 +846,7 @@ func (p *Proc) fallbackToExec(idx int) {
 	e.valEntry = nil
 	e.copySched = false
 	e.state = stWaiting
-	if e.in.IsMem() {
+	if p.metaAt(int(e.pc)).isMem() {
 		p.lsqInsertOrdered(idx)
 	}
 	// Validated instances advertised themselves in the rename map
@@ -786,7 +855,7 @@ func (p *Proc) fallbackToExec(idx int) {
 	if e.hasDest && p.ren[e.logDest].writerSeq == e.seq {
 		p.ren[e.logDest].vec = false
 	}
-	p.waitQ = append(p.waitQ, waitRef{idx: idx, seq: e.seq})
+	p.enqueueWaiting(idx, e)
 }
 
 // lsqInsertOrdered inserts a ROB index into the LSQ in sequence order

@@ -104,7 +104,14 @@ type Harness struct {
 
 	mu    sync.Mutex
 	cache map[RunSpec]*core.Stats
-	sem   chan struct{}
+	// requested records every (normalized) spec Run was asked for,
+	// memoized or not. Comparing it against a dry-run plan closes the
+	// data-dependent-spec hazard: if an experiment's spec choices ever
+	// depended on simulation results, planning and execution would
+	// enumerate different sets, and the sweep machinery asserts on it
+	// (sweep.RunShard, sweep.Tables).
+	requested map[RunSpec]bool
+	sem       chan struct{}
 
 	// running/maxRunning observe the semaphore: how many simulations
 	// are executing now and the high-water mark. They back the -workers
@@ -117,9 +124,10 @@ type Harness struct {
 func New(opt Options) *Harness {
 	opt = opt.withDefaults()
 	return &Harness{
-		opt:   opt,
-		cache: make(map[RunSpec]*core.Stats),
-		sem:   make(chan struct{}, opt.Workers),
+		opt:       opt,
+		cache:     make(map[RunSpec]*core.Stats),
+		requested: make(map[RunSpec]bool),
+		sem:       make(chan struct{}, opt.Workers),
 	}
 }
 
@@ -170,6 +178,37 @@ func (h *Harness) PlannedSpecs() []RunSpec {
 // Options returns the harness options (with defaults applied).
 func (h *Harness) Options() Options { return h.opt }
 
+// ExecutedSpecs returns every spec Run was asked to produce (memoized
+// hits included), sorted by Key. Planner harnesses record nothing
+// here; use PlannedSpecs for those.
+func (h *Harness) ExecutedSpecs() []RunSpec {
+	h.mu.Lock()
+	specs := make([]RunSpec, 0, len(h.requested))
+	for s := range h.requested {
+		specs = append(specs, s)
+	}
+	h.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Key() < specs[j].Key() })
+	return specs
+}
+
+// UnusedPrimed returns the primed specs no Run call ever requested,
+// sorted by Key. On an offline harness fed from a validated sweep
+// plan, a non-empty result means the experiments' actual spec choices
+// diverged from the dry-run plan.
+func (h *Harness) UnusedPrimed() []RunSpec {
+	h.mu.Lock()
+	var specs []RunSpec
+	for s := range h.cache {
+		if !h.requested[s] {
+			specs = append(specs, s)
+		}
+	}
+	h.mu.Unlock()
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Key() < specs[j].Key() })
+	return specs
+}
+
 // normalize applies the per-run defaults Run fills in before touching
 // the cache, so cache keys, planned specs and primed specs agree.
 func (h *Harness) normalize(s RunSpec) RunSpec {
@@ -218,6 +257,7 @@ func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
 		return plannerStats, nil
 	case modeOffline:
 		h.mu.Lock()
+		h.requested[s] = true
 		st, ok := h.cache[s]
 		h.mu.Unlock()
 		if !ok {
@@ -226,6 +266,7 @@ func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
 		return st, nil
 	}
 	h.mu.Lock()
+	h.requested[s] = true
 	if st, ok := h.cache[s]; ok {
 		h.mu.Unlock()
 		return st, nil

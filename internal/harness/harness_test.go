@@ -239,3 +239,36 @@ func TestWindowRule(t *testing.T) {
 		t.Errorf("window=%d ports=%d", cfg.WindowSize, cfg.DL1Ports)
 	}
 }
+
+// TestPlanMatchesExecution closes the data-dependent-spec hazard at
+// its root: dry-running the full experiment registry against a
+// recording planner must enumerate exactly the specs the real harness
+// is asked to simulate. If an experiment ever made its spec choices
+// depend on simulation results, the two sets would diverge.
+func TestPlanMatchesExecution(t *testing.T) {
+	opt := Options{MaxInstr: 4000, Benches: []string{"gcc", "gzip"}}
+
+	planner := NewPlanner(opt)
+	if _, err := RunExperiments(planner, Experiments()); err != nil {
+		t.Fatal(err)
+	}
+	planned := planner.PlannedSpecs()
+
+	real := New(opt)
+	if _, err := RunExperiments(real, Experiments()); err != nil {
+		t.Fatal(err)
+	}
+	executed := real.ExecutedSpecs()
+
+	if len(planned) != len(executed) {
+		t.Fatalf("plan has %d specs, execution requested %d", len(planned), len(executed))
+	}
+	for i := range planned {
+		if planned[i] != executed[i] {
+			t.Errorf("spec %d: planned %s, executed %s", i, planned[i].Key(), executed[i].Key())
+		}
+	}
+	if extra := real.UnusedPrimed(); len(extra) > 0 {
+		t.Errorf("real harness reports %d unused cached specs", len(extra))
+	}
+}

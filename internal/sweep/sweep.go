@@ -7,13 +7,17 @@
 // The plan is obtained by dry-running the experiment registry against a
 // recording harness: experiment control flow is data-independent, so
 // the recorded, deduplicated, Key-sorted spec set is exactly the set of
-// simulations an unsharded run executes. Shard assignment is
-// round-robin over that sorted order — stable across runs and machines
-// (a golden-hash test pins it), balanced to within one cell, and
-// trivially exhaustive. Merging validates exact coverage (every
-// planned cell present exactly once, nothing extra) and regenerates
-// the tables through an offline harness primed with the shard results,
-// so the output is byte-identical to an unsharded run.
+// simulations an unsharded run executes. Shard assignment weights each
+// cell by its estimated cost (big-tier cells cost several times a
+// base-tier cell) and distributes them with a deterministic
+// longest-processing-time greedy pass over the sorted plan — stable
+// across runs and machines (a golden-hash test pins it; with uniform
+// weights it degenerates to exactly the former round-robin), balanced
+// by cost rather than cell count, and trivially exhaustive. Merging
+// validates exact coverage (every planned cell present exactly once,
+// nothing extra) and regenerates the tables through an offline harness
+// primed with the shard results, so the output is byte-identical to an
+// unsharded run.
 package sweep
 
 import (
@@ -99,25 +103,76 @@ func Plan(expIDs []string, opt harness.Options) ([]harness.RunSpec, error) {
 	return h.PlannedSpecs(), nil
 }
 
-// Partition splits Key-sorted specs into n balanced shards by
-// round-robin assignment: specs[i] goes to shard (i mod n)+1. The
-// union of the result is exactly specs and shard sizes differ by at
-// most one.
+// bigTierCostWeight is the estimated cost of a big-tier cell relative
+// to a base-tier cell: the megabyte working sets and 100k+-instruction
+// programs make both generation and simulation several times slower
+// per committed instruction. The exact value only shapes load balance,
+// never coverage, so a coarse estimate is fine — but changing it
+// changes shard assignment on mixed-tier sweeps (shards from different
+// binaries must not be mixed; Merge's coverage check catches it).
+const bigTierCostWeight = 4
+
+// CellCost estimates the relative wall-clock cost of one sweep cell.
+func CellCost(s harness.RunSpec) int {
+	if strings.HasSuffix(s.Bench, ".big") {
+		return bigTierCostWeight
+	}
+	return 1
+}
+
+// Partition splits Key-sorted specs into n cost-balanced shards with a
+// deterministic longest-processing-time greedy pass: cells are taken
+// in descending CellCost (stable on the plan order), each assigned to
+// the currently lightest shard, ties to the lowest shard index. With
+// uniform costs this reduces exactly to the former round-robin
+// assignment (specs[i] -> shard i mod n), which the golden-hash test
+// pins. The union of the result is exactly specs, in plan order
+// within each shard.
 func Partition(specs []harness.RunSpec, n int) [][]harness.RunSpec {
-	out := make([][]harness.RunSpec, n)
+	// Stable descending-cost order: costs take few distinct values, so
+	// one bucket per distinct cost preserves plan order within a class.
+	heavy := make([]int, 0, len(specs))
+	light := make([]int, 0, len(specs))
 	for i, s := range specs {
-		out[i%n] = append(out[i%n], s)
+		if CellCost(s) > 1 {
+			heavy = append(heavy, i)
+		} else {
+			light = append(light, i)
+		}
+	}
+
+	out := make([][]harness.RunSpec, n)
+	load := make([]int, n)
+	assign := make([][]int, n)
+	place := func(i int) {
+		best := 0
+		for k := 1; k < n; k++ {
+			if load[k] < load[best] {
+				best = k
+			}
+		}
+		assign[best] = append(assign[best], i)
+		load[best] += CellCost(specs[i])
+	}
+	for _, i := range heavy {
+		place(i)
+	}
+	for _, i := range light {
+		place(i)
+	}
+	for k := range out {
+		sort.Ints(assign[k]) // plan order within the shard
+		for _, i := range assign[k] {
+			out[k] = append(out[k], specs[i])
+		}
 	}
 	return out
 }
 
-// Select returns the specs assigned to this shard.
+// Select returns the specs assigned to this shard; it agrees with
+// Partition by construction.
 func (sh Shard) Select(specs []harness.RunSpec) []harness.RunSpec {
-	var out []harness.RunSpec
-	for i := sh.K - 1; i < len(specs); i += sh.N {
-		out = append(out, specs[i])
-	}
-	return out
+	return Partition(specs, sh.N)[sh.K-1]
 }
 
 // Cell is one completed sweep cell: a spec and its simulation result.
@@ -189,6 +244,14 @@ func RunShard(expIDs []string, opt harness.Options, sh Shard) (*File, error) {
 			return nil, fmt.Errorf("sweep: shard %s cell %s: %w", sh, mine[i].Key(), err)
 		}
 	}
+
+	// A shard runs its plan slice directly, so the plan-vs-run hazard
+	// (an experiment whose spec choices depend on simulation results)
+	// cannot show up here — it is caught where experiments actually
+	// execute: TestPlanMatchesExecution compares a dry-run plan with a
+	// real harness's recorded ExecutedSpecs over the whole registry,
+	// and Tables below fails on any merged cell the experiments never
+	// request (plus the offline harness's hard error on the converse).
 
 	ids := make([]string, len(exps))
 	for i, e := range exps {
@@ -308,5 +371,18 @@ func Tables(f *File) ([]*harness.Table, error) {
 	for _, c := range f.Cells {
 		h.Prime(c.Spec, c.Stats)
 	}
-	return harness.RunExperiments(h, exps)
+	tables, err := harness.RunExperiments(h, exps)
+	if err != nil {
+		return nil, err
+	}
+	// The offline harness already errors when an experiment requests a
+	// cell the merge did not provide; the converse — a merged cell no
+	// experiment asked for — is the silent half of the
+	// data-dependent-spec hazard (the plan enumerated more than the
+	// experiments actually use), and fails loudly here.
+	if extra := h.UnusedPrimed(); len(extra) > 0 {
+		return nil, fmt.Errorf("sweep: %d merged cell(s) never requested by the experiments (plan/run divergence, e.g. %s)",
+			len(extra), extra[0].Key())
+	}
+	return tables, nil
 }

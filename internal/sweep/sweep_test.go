@@ -146,6 +146,130 @@ func TestShardAssignmentGolden(t *testing.T) {
 	}
 }
 
+// shardCost sums CellCost over a shard.
+func shardCost(part []harness.RunSpec) int {
+	c := 0
+	for _, s := range part {
+		c += CellCost(s)
+	}
+	return c
+}
+
+// costSpread is max-min shard cost.
+func costSpread(parts [][]harness.RunSpec) int {
+	lo, hi := int(1<<62), 0
+	for _, p := range parts {
+		c := shardCost(p)
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	return hi - lo
+}
+
+// TestCostWeightedPartition: on a mixed-tier plan, the LPT assignment
+// must (a) stay a deterministic exhaustive partition of the plan that
+// Select agrees with, and (b) shrink the shard cost spread compared to
+// the old cell-count round-robin, which stacks the expensive big-tier
+// cells unevenly.
+func TestCostWeightedPartition(t *testing.T) {
+	opt := harness.Options{MaxInstr: 8000, Benches: []string{"gcc", "gzip", "eon", "gcc.big", "mcf.big"}}
+	plan, err := Plan(nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasBig, hasBase := false, false
+	for _, s := range plan {
+		if CellCost(s) > 1 {
+			hasBig = true
+		} else {
+			hasBase = true
+		}
+	}
+	if !hasBig || !hasBase {
+		t.Fatalf("plan is not mixed-tier (big=%v base=%v)", hasBig, hasBase)
+	}
+
+	for n := 2; n <= 7; n++ {
+		parts := Partition(plan, n)
+		// Exhaustive, disjoint, Select-consistent.
+		seen := make(map[string]bool, len(plan))
+		for k, part := range parts {
+			sel := Shard{K: k + 1, N: n}.Select(plan)
+			if len(sel) != len(part) {
+				t.Fatalf("n=%d shard %d: Select and Partition disagree", n, k+1)
+			}
+			for i := range part {
+				if sel[i] != part[i] {
+					t.Fatalf("n=%d shard %d cell %d: Select and Partition disagree", n, k+1, i)
+				}
+				if seen[part[i].Key()] {
+					t.Fatalf("n=%d: cell %s assigned twice", n, part[i].Key())
+				}
+				seen[part[i].Key()] = true
+			}
+		}
+		if len(seen) != len(plan) {
+			t.Fatalf("n=%d: %d of %d cells assigned", n, len(seen), len(plan))
+		}
+		// Determinism.
+		again := Partition(plan, n)
+		for k := range parts {
+			for i := range parts[k] {
+				if again[k][i] != parts[k][i] {
+					t.Fatalf("n=%d: partition not deterministic", n)
+				}
+			}
+		}
+		// Cost balance vs round-robin by cell count.
+		rr := make([][]harness.RunSpec, n)
+		for i, s := range plan {
+			rr[i%n] = append(rr[i%n], s)
+		}
+		if lpt, naive := costSpread(parts), costSpread(rr); lpt > naive {
+			t.Errorf("n=%d: LPT cost spread %d worse than round-robin %d", n, lpt, naive)
+		} else if n == 3 && lpt >= naive {
+			// The headline case must strictly improve: the Key-sorted
+			// plan clusters each benchmark's cells, so count-based
+			// round-robin stacks big-tier cells onto the same shards.
+			t.Errorf("n=3: LPT cost spread %d does not improve on round-robin %d", lpt, naive)
+		}
+	}
+}
+
+// TestUniformCostIsRoundRobin pins the degenerate case the golden hash
+// depends on: with uniform cell costs the LPT pass assigns cell i to
+// shard i mod n, exactly the PR 2 round-robin.
+func TestUniformCostIsRoundRobin(t *testing.T) {
+	plan, err := Plan(nil, planOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range plan {
+		if CellCost(s) != 1 {
+			t.Fatalf("base-tier plan has non-uniform cost cell %s", s.Key())
+		}
+	}
+	for n := 1; n <= 5; n++ {
+		parts := Partition(plan, n)
+		for k, part := range parts {
+			want := 0
+			for i := k; i < len(plan); i += n {
+				if part[want] != plan[i] {
+					t.Fatalf("n=%d shard %d: cell %d is not round-robin", n, k+1, want)
+				}
+				want++
+			}
+			if want != len(part) {
+				t.Fatalf("n=%d shard %d: %d cells, round-robin wants %d", n, k+1, len(part), want)
+			}
+		}
+	}
+}
+
 func fmtHash(v uint64) string {
 	const hex = "0123456789abcdef"
 	b := make([]byte, 16)
@@ -266,6 +390,56 @@ func TestMergeDetectsMismatchedSweeps(t *testing.T) {
 	}
 	if _, err := Merge([]*File{a[0], a[0]}); err == nil {
 		t.Error("merge must reject the same shard twice")
+	}
+}
+
+// TestTablesDetectsUnusedPrimedCell: a merged cell the experiments
+// never request at table-generation time is the silent half of the
+// data-dependent-spec hazard; Tables must fail loudly on it.
+func TestTablesDetectsUnusedPrimedCell(t *testing.T) {
+	expIDs := []string{"fig10"}
+	opt := harness.Options{MaxInstr: 5000, Benches: []string{"gcc"}}
+	files := tinyMerge(t, expIDs, opt, 2)
+	merged, err := Merge(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Tables(merged); err != nil {
+		t.Fatalf("clean merge must regenerate tables: %v", err)
+	}
+	// Inject a cell outside what fig10 requests (bypassing Merge's
+	// plan check, the way a planner/executor divergence would).
+	alien := merged.Cells[0]
+	alien.Spec.Regs = 12345
+	merged.Cells = append(merged.Cells, alien)
+	if _, err := Tables(merged); err == nil || !strings.Contains(err.Error(), "never requested") {
+		t.Errorf("Tables must reject never-requested cells, got %v", err)
+	}
+}
+
+// TestShardPlanMatchesExecution: RunShard's executing harness records
+// the specs it simulated; the run must be exactly the shard's slice of
+// the plan (the assertion inside RunShard), and the recording must
+// agree with an independent recomputation here.
+func TestShardPlanMatchesExecution(t *testing.T) {
+	expIDs := []string{"fig10"}
+	opt := harness.Options{MaxInstr: 5000, Benches: []string{"gcc"}}
+	f, err := RunShard(expIDs, opt, Shard{K: 1, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Plan(expIDs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (Shard{K: 1, N: 2}).Select(plan)
+	if len(f.Cells) != len(want) {
+		t.Fatalf("shard ran %d cells, plan slice has %d", len(f.Cells), len(want))
+	}
+	for i := range want {
+		if f.Cells[i].Spec != want[i] {
+			t.Errorf("cell %d: ran %s, plan slice has %s", i, f.Cells[i].Spec.Key(), want[i].Key())
+		}
 	}
 }
 
