@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	cibench                          # write BENCH_core.json (gcc + gcc.big)
+//	cibench                          # write BENCH_core.json (gcc + gcc.big + mcf.big)
 //	cibench -o - -instr 100000       # print to stdout, bigger runs
 //	cibench -bench gcc.big -o big.json
 package main
@@ -129,7 +129,7 @@ func measureIssueStage() (benchfmt.Result, error) {
 
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output path ('-' for stdout)")
-	bench := flag.String("bench", "gcc,gcc.big", "comma-separated benchmark workloads (both tiers allowed)")
+	bench := flag.String("bench", "gcc,gcc.big,mcf.big", "comma-separated benchmark workloads (both tiers allowed)")
 	instr := flag.Uint64("instr", 30_000, "committed-instruction budget per simulation")
 	micro := flag.Bool("micro", true, "include the issue-stage scheduler microbenchmark row")
 	flag.Parse()

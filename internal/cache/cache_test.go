@@ -353,3 +353,56 @@ func TestHierarchyFlush(t *testing.T) {
 		t.Error("flush should invalidate all levels")
 	}
 }
+
+func TestAdvanceToMatchesPerCycleBeginCycle(t *testing.T) {
+	// AdvanceTo over an access-free range must leave the hierarchy in
+	// the same state as per-cycle BeginCycle calls: misses retire at
+	// the same cycles and MSHR occupancy matches throughout.
+	mk := func() *Hierarchy {
+		h := NewHierarchy(DefaultHierConfig())
+		h.BeginCycle(1)
+		for i := 0; i < 5; i++ {
+			r := h.DataAccess(uint64(0x10000+i*4096), false)
+			if !r.OK {
+				t.Fatal("access rejected")
+			}
+			h.BeginCycle(uint64(2 + i))
+		}
+		return h
+	}
+	a, b := mk(), mk()
+	for c := uint64(7); c <= 200; c++ {
+		a.BeginCycle(c)
+	}
+	b.AdvanceTo(199)
+	b.BeginCycle(200)
+	if a.OutstandingMisses() != b.OutstandingMisses() {
+		t.Errorf("outstanding misses diverge: stepped %d, advanced %d",
+			a.OutstandingMisses(), b.OutstandingMisses())
+	}
+	am, aok := a.NextMissRetire()
+	bm, bok := b.NextMissRetire()
+	if am != bm || aok != bok {
+		t.Errorf("next miss retire diverges: stepped (%d,%v), advanced (%d,%v)", am, aok, bm, bok)
+	}
+}
+
+func TestNextMissRetire(t *testing.T) {
+	h := NewHierarchy(DefaultHierConfig())
+	if _, ok := h.NextMissRetire(); ok {
+		t.Error("fresh hierarchy reports an in-flight miss")
+	}
+	h.BeginCycle(1)
+	r := h.DataAccess(0x40000, false)
+	if !r.OK || r.Hit {
+		t.Fatalf("expected a miss, got %+v", r)
+	}
+	m, ok := h.NextMissRetire()
+	if !ok || m != 1+uint64(r.Lat) {
+		t.Errorf("NextMissRetire = (%d,%v), want (%d,true)", m, ok, 1+uint64(r.Lat))
+	}
+	h.BeginCycle(m)
+	if _, ok := h.NextMissRetire(); ok {
+		t.Error("miss still reported after its retire cycle")
+	}
+}

@@ -115,6 +115,18 @@ func (h *Hierarchy) BeginCycle(cycle uint64) {
 	h.missFreeAt = out
 }
 
+// AdvanceTo jumps the hierarchy's cycle forward across an access-free
+// range in one call — the batched catch-up a stall fast-forward uses
+// for skipped cycles. BeginCycle's per-cycle work is idempotent
+// threshold compaction plus port-counter resets, so one batched call
+// is identical to calling it for every skipped cycle when no access
+// happens in between (which skipped cycles guarantee).
+func (h *Hierarchy) AdvanceTo(cycle uint64) {
+	if cycle > h.cycle {
+		h.BeginCycle(cycle)
+	}
+}
+
 // FetchAccess performs an instruction fetch of the line containing pc
 // and returns the latency. The I-cache has its own port.
 func (h *Hierarchy) FetchAccess(addr uint64) (lat int) {
@@ -241,6 +253,30 @@ func (h *Hierarchy) DataAccessReplica(addr uint64) DataResult {
 
 // OutstandingMisses returns the number of in-flight L1D misses.
 func (h *Hierarchy) OutstandingMisses() int { return len(h.missFreeAt) }
+
+// PortsUsed returns how many L1D ports this cycle's accesses have
+// consumed so far. Callers that reason about whether a failed access
+// attempt would also fail on later cycles use it to detect transient
+// port pressure (e.g. a commit-stage store write) that resets at the
+// next BeginCycle.
+func (h *Hierarchy) PortsUsed() int { return h.portsUsed }
+
+// NextMissRetire returns the earliest cycle an in-flight L1D miss
+// retires and frees its MSHR (the cycle BeginCycle compacts it away) —
+// an event bound for callers that skip over access-free cycles. ok is
+// false with no miss in flight.
+func (h *Hierarchy) NextMissRetire() (cycle uint64, ok bool) {
+	if len(h.missFreeAt) == 0 {
+		return 0, false
+	}
+	m := h.missFreeAt[0]
+	for _, t := range h.missFreeAt[1:] {
+		if t < m {
+			m = t
+		}
+	}
+	return m, true
+}
 
 // Flush invalidates all levels and the wide-bus line buffers.
 func (h *Hierarchy) Flush() {

@@ -69,6 +69,20 @@ func (p *Proc) completeStage() {
 	}
 }
 
+// nextCompletion returns the earliest cycle an in-flight execution can
+// retire — the completion-queue contribution to the fast-forward
+// engine's next-event aggregation. execMinDone can under-estimate
+// after a squash (stale entries are dropped at the next scan); a jump
+// landing on such a cycle just scans, finds nothing due, tightens the
+// bound and re-skips, so the under-estimate costs a scan, never
+// correctness.
+func (p *Proc) nextCompletion() (uint64, bool) {
+	if len(p.execQ) == 0 {
+		return 0, false
+	}
+	return p.execMinDone, true
+}
+
 // recoverBranch performs misprediction recovery for the branch in ROB
 // slot idx.
 func (p *Proc) recoverBranch(idx int) {
@@ -177,6 +191,9 @@ func (p *Proc) squashAfter(idx int) {
 		e := &p.rob[i]
 		if e.seq <= keepSeq {
 			break
+		}
+		if p.metaAt(int(e.pc)).isStore() {
+			p.storeIndexRemove(i, e)
 		}
 		if e.hasDest {
 			// The squashed writer's own map entry (restored over here, or

@@ -175,6 +175,23 @@ type Config struct {
 	// internal/core compare the two bit-for-bit.
 	NaiveScheduler bool
 
+	// NoFastForward disables the stall-cycle fast-forward engine
+	// (fastforward.go) and steps every simulated cycle individually —
+	// the reference mode the fast-forward differential tests compare
+	// against, same pattern as NaiveScheduler. Fast-forward needs the
+	// event scheduler's ready/park lists to prove a cycle inert, so the
+	// naive scheduler never fast-forwards regardless of this flag.
+	NoFastForward bool
+
+	// CommitRecomputeAll restores the reference commit path that
+	// recomputes every instruction architecturally (archResult) before
+	// retiring it. The default (false) skips the recomputation for
+	// instructions whose rename-time operand sources carried no reused
+	// (validated or squash-reuse) value — for those the issue-time
+	// result is exact by construction, which the reference mode's
+	// commit assertion checks. Differential tests compare the two.
+	CommitRecomputeAll bool
+
 	// MaxInstr bounds committed instructions (0: run to halt).
 	MaxInstr uint64
 	// MaxCycles is a hard safety bound (0: 200M).

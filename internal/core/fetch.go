@@ -6,6 +6,11 @@ import "civect/internal/isa"
 // I-cache (4-byte instructions: a 64-byte line holds 16 instructions).
 const instBytes = 4
 
+// fetchCap is the fetch-buffer capacity: enough to cover the decode
+// stages plus two fetch groups of slack. The fast-forward engine reads
+// it too — a full buffer proves fetch inert while rename is blocked.
+func (p *Proc) fetchCap() int { return (p.cfg.FrontEndDepth + 2) * p.cfg.FetchWidth }
+
 // fetchStage fetches up to FetchWidth instructions per cycle along the
 // predicted path, stopping at the first taken control transfer (Table
 // 1: "up to 1 taken branch"). I-cache misses stall fetch for the miss
@@ -15,7 +20,7 @@ func (p *Proc) fetchStage() {
 	if p.fetchHalted || p.cycle < p.fetchStallUntil {
 		return
 	}
-	if p.fetchLen() >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
+	if p.fetchLen() >= p.fetchCap() {
 		return
 	}
 	lat := p.hier.FetchAccess(uint64(p.fetchPC) * instBytes)
@@ -50,7 +55,7 @@ func (p *Proc) fetchStage() {
 			p.fetchQ = append(p.fetchQ, f)
 			p.fetchPC++
 		}
-		if p.fetchLen() >= (p.cfg.FrontEndDepth+2)*p.cfg.FetchWidth {
+		if p.fetchLen() >= p.fetchCap() {
 			return
 		}
 	}

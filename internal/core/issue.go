@@ -43,6 +43,17 @@ func (p *Proc) issueStage() {
 		p.waitQ = out
 	}
 	p.issueBudget = p.cfg.IssueWidth - issued
+	// Fast-forward bookkeeping: a scan that issued nothing left only
+	// failures that persist until an external event (tryIssue is
+	// side-effect-free on failure, and per-cycle resources reset full),
+	// so the engine may skip over the survivors — unless something is
+	// inserted after this scan (readyDirty, set by readyInsert), or a
+	// stage running before the scan consumed a data port this cycle
+	// (the commit stage's store write): that pressure resets at the
+	// next BeginCycle, so a load that failed on it would issue next
+	// cycle and the no-issue observation predicts nothing.
+	p.lastNoIssue = issued == 0 && p.hier.PortsUsed() == 0
+	p.readyDirty = false
 }
 
 func (p *Proc) tryIssue(idx int, e *robEntry) bool {
@@ -76,6 +87,7 @@ func (p *Proc) tryIssue(idx int, e *robEntry) bool {
 		e.value = b
 		e.doneAt = p.cycle + uint64(p.cfg.LatIntALU)
 		e.state = stExecuting
+		p.storeAddrKnown(idx, e)
 		return true
 	case im.isCondBr():
 		if p.aluFree <= 0 {
@@ -113,41 +125,31 @@ func (p *Proc) tryIssue(idx int, e *robEntry) bool {
 }
 
 // tryIssueLoad resolves memory disambiguation and either forwards from
-// an older store or accesses the data cache.
+// an older store or accesses the data cache. Disambiguation is O(1)
+// via the per-word last-store index (lsqindex.go) instead of the
+// per-attempt LSQ walk the seed shipped: an older store with an
+// unknown address blocks the load; otherwise the youngest older store
+// to the same word forwards its value (computed together with the
+// address at store issue).
 func (p *Proc) tryIssueLoad(idx int, e *robEntry, base uint64) bool {
 	addr := base + uint64(e.in.Imm)
 	word := addr &^ 7
 
-	// Walk older LSQ entries: an older store with an unknown address
-	// blocks the load; otherwise the youngest older store to the same
-	// word forwards its value (computed together with the address at
-	// store issue).
-	fwd := false
-	var fwdVal uint64
-	for _, li := range p.lsq {
-		se := &p.rob[li]
-		if se.seq >= e.seq {
-			break
-		}
-		if !p.metaAt(int(se.pc)).isStore() {
-			continue
-		}
-		if se.state == stWaiting {
-			return false // address not known yet
-		}
-		if se.addr&^7 == word {
-			fwd = true
-			fwdVal = se.value
-		}
+	if len(p.storeUnknown) > 0 && p.storeUnknown[0] < e.seq {
+		return false // an older store's address is not known yet
 	}
-
-	if fwd {
-		e.addr = addr
-		e.value = fwdVal
-		e.fwdStore = true
-		e.doneAt = p.cycle + 1
-		e.state = stExecuting
-		return true
+	if l := p.wordStores[word]; len(l) > 0 {
+		for i := len(l) - 1; i >= 0; i-- {
+			se := &p.rob[l[i]]
+			if se.seq < e.seq {
+				e.addr = addr
+				e.value = se.value
+				e.fwdStore = true
+				e.doneAt = p.cycle + 1
+				e.state = stExecuting
+				return true
+			}
+		}
 	}
 
 	r := p.hier.DataAccess(addr, false)

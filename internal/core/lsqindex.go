@@ -1,0 +1,99 @@
+package core
+
+// Per-word last-store index.
+//
+// Load issue must disambiguate against every older in-flight store:
+// any older store with an unresolved address blocks the load, and
+// otherwise the youngest older store to the same 8-byte word forwards
+// its value. The seed implementation re-walked the whole LSQ on every
+// issue attempt — and blocked loads attempt every cycle, so the walk
+// was quadratic in stall depth. These structures answer both questions
+// in O(1):
+//
+//   - storeUnknown lists the dynamic sequence numbers of in-flight
+//     stores whose addresses are not yet computed. Stores dispatch in
+//     program order and squashes cut a suffix, so the slice is always
+//     ascending; "is any older store unresolved" is one compare
+//     against its head.
+//   - wordStores maps an 8-byte-aligned word address to the ROB
+//     indices of the in-flight address-known stores to it, kept in
+//     sequence order; "youngest older same-word store" is a short
+//     backward scan of a list that almost always has one element.
+//
+// Maintenance mirrors a store's lifecycle exactly: dispatch adds it to
+// storeUnknown (renameStage), address computation moves it into
+// wordStores (tryIssue), and commit or squash removes it from
+// whichever structure holds it. Emptied word lists return their
+// backing arrays to a free pool so the steady state stays
+// allocation-free.
+
+// storeDispatch registers a renamed store's not-yet-computed address.
+// Dispatch order is program order, so appending keeps storeUnknown
+// ascending.
+func (p *Proc) storeDispatch(seq uint64) {
+	p.storeUnknown = append(p.storeUnknown, seq)
+}
+
+// storeUnknownRemove drops one sequence number from the unknown set.
+// The scan runs from the tail: squashes remove the youngest stores and
+// issue resolution favours them too.
+func (p *Proc) storeUnknownRemove(seq uint64) {
+	for i := len(p.storeUnknown) - 1; i >= 0; i-- {
+		if p.storeUnknown[i] == seq {
+			p.storeUnknown = append(p.storeUnknown[:i], p.storeUnknown[i+1:]...)
+			return
+		}
+	}
+}
+
+// storeAddrKnown moves a store whose address was just computed (at
+// issue) from the unknown set into the per-word index, inserting at
+// its sequence position — stores issue out of order.
+func (p *Proc) storeAddrKnown(idx int, e *robEntry) {
+	p.storeUnknownRemove(e.seq)
+	w := e.addr &^ 7
+	l, ok := p.wordStores[w]
+	if !ok {
+		if n := len(p.wordListFree); n > 0 {
+			l = p.wordListFree[n-1]
+			p.wordListFree = p.wordListFree[:n-1]
+		} else {
+			l = make([]int32, 0, 4)
+		}
+	}
+	pos := len(l)
+	for i, ri := range l {
+		if p.rob[ri].seq > e.seq {
+			pos = i
+			break
+		}
+	}
+	l = append(l, 0)
+	copy(l[pos+1:], l[pos:])
+	l[pos] = int32(idx)
+	p.wordStores[w] = l
+}
+
+// storeIndexRemove deletes a dying store (commit or squash) from
+// whichever structure holds it: the unknown set while its address was
+// never computed, the per-word index afterwards.
+func (p *Proc) storeIndexRemove(idx int, e *robEntry) {
+	if e.state == stWaiting {
+		p.storeUnknownRemove(e.seq)
+		return
+	}
+	w := e.addr &^ 7
+	l := p.wordStores[w]
+	for i, ri := range l {
+		if int(ri) == idx {
+			l = append(l[:i], l[i+1:]...)
+			break
+		}
+	}
+	if len(l) == 0 {
+		delete(p.wordStores, w)
+		p.wordListFree = append(p.wordListFree, l[:0])
+	} else {
+		p.wordStores[w] = l
+	}
+}

@@ -59,6 +59,14 @@ type renEntry struct {
 	// vec marks the last writer as a vectorized (validated) instruction
 	// (the V/S bit).
 	vec bool
+	// dirty marks the register's value as (transitively) derived from a
+	// reused result that has not been commit-verified yet: the writer
+	// was validated/squash-reused itself, or read a dirty source.
+	// Commit recomputes dirty-rooted instructions architecturally and
+	// skips the recomputation for clean ones, whose issue-time result
+	// is exact by construction. Conservative — the flag never clears on
+	// verification, only on overwrite by a clean writer.
+	dirty bool
 	// nStrided is the live length of the strideRef list.
 	nStrided uint8
 }
@@ -124,6 +132,7 @@ type robEntry struct {
 	afterCRP   bool // fetched after the re-convergent point was reached
 	validated  bool // reused a precomputed value
 	reuseIW    bool // ci-iw squash reuse
+	tainted    bool // reused, or renamed with a dirty source (see renEntry.dirty)
 
 	// Speculative-memory copy micro-op state (§2.4.6).
 	copySched bool
@@ -244,6 +253,14 @@ type Proc struct {
 	// lsq holds ROB indices of in-flight memory instructions in program
 	// order.
 	lsq []int
+	// Per-word last-store disambiguation index (lsqindex.go):
+	// storeUnknown is the ascending seq list of in-flight stores with
+	// uncomputed addresses, wordStores maps an aligned word to the
+	// in-flight address-known stores writing it (ROB indices in seq
+	// order), and wordListFree pools emptied word lists.
+	storeUnknown []uint64
+	wordStores   map[uint64][]int32
+	wordListFree [][]int32
 
 	fetchPC         int
 	fetchHalted     bool
@@ -333,7 +350,25 @@ type Proc struct {
 	// a wake in the bucket of its NextDone cycle, so waiting out
 	// functional-unit and cache latency costs nothing per cycle. The
 	// wheel spans wheelSpan cycles; rarer longer waits keep polling.
+	// wheelOcc is its one-bit-per-bucket occupancy map, maintained at
+	// every park and drain, so the fast-forward engine finds the next
+	// scheduled wake with a few word scans (nextWheelWake).
 	doneWheel [wheelSpan][]entryRef
+	wheelOcc  [wheelSpan / 64]uint64
+
+	// Stall fast-forward engine state (fastforward.go): enabled when
+	// the event scheduler is on and Config.NoFastForward is off, plus
+	// the jump/skipped-cycle activity counters (kept out of Stats so
+	// fast-forwarded and stepped runs compare with struct equality).
+	// lastNoIssue records that the just-finished cycle's issue scan
+	// issued nothing, and readyDirty that the ready list changed after
+	// that scan — together they prove a non-empty ready list holds only
+	// instructions blocked until the next event.
+	fastFwd     bool
+	lastNoIssue bool
+	readyDirty  bool
+	ffJumps     uint64
+	ffSkipped   uint64
 
 	// Per-cycle budgets.
 	aluFree, mulFree int
@@ -380,6 +415,9 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 		bp:    bpred.NewGshare(cfg.GshareEntries),
 		mbs:   bpred.NewMBS(cfg.MBSSets, cfg.MBSAssoc),
 		sp:    stride.New(cfg.StrideSets, cfg.StrideAssoc),
+		// In-flight stores are bounded by the LSQ, so the word index
+		// stops growing once it has seen the peak occupancy.
+		wordStores: make(map[uint64][]int32, cfg.LSQSize),
 	}
 	if cfg.Mode == ModeCI || cfg.Mode == ModeCIIW {
 		p.nrbq = ci.NewNRBQ(cfg.NRBQEntries)
@@ -394,6 +432,9 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 	// Epoch 0 would make the zero-valued freedMark read as all-freed.
 	p.freedEpoch = 1
 	p.eventSched = !cfg.NaiveScheduler
+	// Fast-forward needs the event scheduler's quiescence guarantees;
+	// the naive reference always steps.
+	p.fastFwd = p.eventSched && !cfg.NoFastForward
 	if p.eventSched {
 		// Pre-size the wakeup structures so the steady state stays
 		// allocation-free: park lists for every physical register
@@ -487,8 +528,14 @@ func (p *Proc) headState() string {
 }
 
 // step advances one cycle, processing stages in reverse pipeline order
-// so that each stage sees the previous cycle's outputs.
+// so that each stage sees the previous cycle's outputs. When the
+// coming cycle is provably inert, the fast-forward engine first jumps
+// the cycle counter to just before the next actionable cycle
+// (fastforward.go), so the step below lands exactly on it.
 func (p *Proc) step() {
+	if p.fastFwd {
+		p.maybeFastForward()
+	}
 	p.cycle++
 	p.hier.BeginCycle(p.cycle)
 	if p.sm != nil {

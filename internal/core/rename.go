@@ -27,34 +27,57 @@ func (p *Proc) renameStage() {
 	}
 }
 
-func (p *Proc) tryRename(f *fetchedInstr) bool {
-	in := p.prog.At(f.pc)
-	im := p.metaAt(f.pc)
+// renameHazard classifies the structural hazard refusing to rename an
+// instruction with metadata im: the window, the LSQ, or the rename
+// register pool. It is the single definition shared by tryRename and
+// the fast-forward engine's renameBlocked — the skip-inertness proof
+// depends on the two never drifting apart.
+type renameHazard int
 
-	// Structural hazards: window, LSQ, rename register.
+const (
+	hazardNone renameHazard = iota
+	hazardWindow
+	hazardLSQ
+	hazardRegs
+)
+
+func (p *Proc) renameHazardFor(im *instrMeta) renameHazard {
 	if p.robCount >= len(p.rob) {
-		return false
+		return hazardWindow
 	}
 	if im.isMem() && len(p.lsq) >= p.cfg.LSQSize {
-		return false
+		return hazardLSQ
 	}
-	dest, hasDest := im.dest, im.hasDest()
-	if hasDest {
+	if im.hasDest() {
 		need := 1
 		if p.cfg.Mode.Vectorizes() {
 			need += p.cfg.RenameRegHeadroom
 		}
 		if p.rf.FreeCount() < need {
-			// With an empty window nothing will ever commit to free a
-			// register: replica storage has strangled the pipeline.
-			// Reclaim idle entries rather than deadlocking. (With a
-			// non-empty window, commits release registers naturally.)
-			if p.robCount == 0 {
-				p.reclaimIdleEntries()
-			}
-			return false
+			return hazardRegs
 		}
 	}
+	return hazardNone
+}
+
+func (p *Proc) tryRename(f *fetchedInstr) bool {
+	in := p.prog.At(f.pc)
+	im := p.metaAt(f.pc)
+
+	switch p.renameHazardFor(im) {
+	case hazardRegs:
+		// With an empty window nothing will ever commit to free a
+		// register: replica storage has strangled the pipeline.
+		// Reclaim idle entries rather than deadlocking. (With a
+		// non-empty window, commits release registers naturally.)
+		if p.robCount == 0 {
+			p.reclaimIdleEntries()
+		}
+		return false
+	case hazardWindow, hazardLSQ:
+		return false
+	}
+	dest, hasDest := im.dest, im.hasDest()
 
 	p.seq++
 	idx := p.robAlloc()
@@ -167,6 +190,17 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 		}
 	}
 
+	// Taint tracking for the commit dirty-flag: a reused result, or any
+	// source register still carrying an unverified reused value, makes
+	// this instruction's commit recompute architecturally; everything
+	// else retires on its issue-time result (commit.go).
+	e.tainted = e.validated || e.reuseIW
+	for i := 0; i < int(e.nsrc); i++ {
+		if srcSnap[i].dirty {
+			e.tainted = true
+		}
+	}
+
 	// Rename the destination.
 	if hasDest {
 		phys, ok := p.rf.Alloc()
@@ -176,7 +210,7 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 		}
 		e.physDest = int32(phys)
 		e.oldRen = p.ren[dest]
-		nre := renEntry{phys: int32(phys), writerSeq: e.seq, writerPC: int32(f.pc)}
+		nre := renEntry{phys: int32(phys), writerSeq: e.seq, writerPC: int32(f.pc), dirty: e.tainted}
 		if e.validated {
 			// Figure 7: validated instances set the V/S bit and the Seq
 			// field so dependents can vectorize and validate.
@@ -214,6 +248,9 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	default:
 		if im.isMem() {
 			p.lsq = append(p.lsq, idx)
+			if im.isStore() {
+				p.storeDispatch(e.seq)
+			}
 		}
 		p.enqueueWaiting(idx, e)
 	}

@@ -52,14 +52,16 @@ func (p *Proc) replicaTickEvent() {
 	// Wake the entries whose completion cycle has arrived, before the
 	// arbitration walk, so they take their stamp-ordered turn this
 	// cycle exactly as a never-delisted scan would.
-	bucket := p.doneWheel[p.cycle&(wheelSpan-1)]
+	slot := p.cycle & (wheelSpan - 1)
+	bucket := p.doneWheel[slot]
 	if len(bucket) > 0 {
 		for _, ref := range bucket {
 			if ref.live() {
 				p.activateEntry(ref.ent)
 			}
 		}
-		p.doneWheel[p.cycle&(wheelSpan-1)] = bucket[:0]
+		p.doneWheel[slot] = bucket[:0]
+		p.wheelOcc[slot>>6] &^= 1 << (slot & 63)
 	}
 	p.inTick = true
 	retired := 0
@@ -115,9 +117,10 @@ func (p *Proc) replicaTickEvent() {
 				ent.Listed = false
 				p.activeEntries[p.tickIdx].ent = nil
 				retired++
-				p.doneWheel[ent.NextDone&(wheelSpan-1)] = append(
-					p.doneWheel[ent.NextDone&(wheelSpan-1)],
+				b := ent.NextDone & (wheelSpan - 1)
+				p.doneWheel[b] = append(p.doneWheel[b],
 					entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp})
+				p.wheelOcc[b>>6] |= 1 << (b & 63)
 			}
 			continue
 		}
@@ -217,6 +220,35 @@ func (p *Proc) wakeConsumers(ent *ci.Entry) {
 		live = append(live, c)
 	}
 	ent.Consumers = live
+}
+
+// nextWheelWake returns the earliest cycle strictly after cur with a
+// scheduled completion-wheel wake — the replica scheduler's
+// earliest-wake bound for the fast-forward engine. The wheel's bucket
+// for a cycle is drained on that cycle (and fast-forward never jumps
+// past a set bucket), so every occupied bucket maps to the unique
+// matching cycle within the next wheelSpan cycles; the occupancy
+// bitmap makes the lookup a few word scans. Stale listings (dead
+// incarnations) keep their bucket occupied until its cycle arrives —
+// a jump may land on a wake that does nothing, never miss one.
+func (p *Proc) nextWheelWake(cur uint64) (uint64, bool) {
+	const words = wheelSpan / 64
+	start := (cur + 1) & (wheelSpan - 1)
+	for i := 0; i <= words; i++ {
+		wi := (int(start)>>6 + i) & (words - 1)
+		word := p.wheelOcc[wi]
+		switch i {
+		case 0:
+			word &= ^uint64(0) << (start & 63)
+		case words: // wrapped back to the first word: only the low bits remain
+			word &= 1<<(start&63) - 1
+		}
+		if word != 0 {
+			slot := uint64(wi<<6) + uint64(bits.TrailingZeros64(word))
+			return cur + 1 + ((slot - start) & (wheelSpan - 1)), true
+		}
+	}
+	return 0, false
 }
 
 // invalidateEntry tears an entry down: its consumer chain is woken (so

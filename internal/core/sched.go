@@ -33,6 +33,28 @@ package core
 // cannot be squashed without the parked consumer dying too. Stranded
 // listings are drained the next time the register is written.
 
+// schedQuiescent reports whether the issue scheduler provably cannot
+// act until an external event fires — the earliest-wake bound the
+// fast-forward engine aggregates. With the event scheduler that holds
+// in two cases: the ready list is empty (parked instructions wake only
+// through writeReg, and every write is downstream of a completion
+// event the aggregator already bounds), or the just-finished cycle
+// scanned the whole ready list and issued nothing with no insertion
+// since — the survivors are blocked on conditions that only events
+// change (an older store's unknown address, a full MSHR file; tryIssue
+// is side-effect-free on failure and per-cycle resources reset full,
+// so a failed attempt fails identically every cycle until one fires).
+// Validation in flight always disqualifies: advanceValidated polls
+// per-cycle conditions (ports, patience deadlines) with no clean
+// bound. The naive waiting list mixes ready and unready instructions,
+// so it admits no such bound and never fast-forwards.
+func (p *Proc) schedQuiescent() bool {
+	if !p.eventSched || len(p.validPend) != 0 {
+		return false
+	}
+	return len(p.readyQ) == 0 || (p.lastNoIssue && !p.readyDirty)
+}
+
 // enqueueWaiting places a dispatched (or validation-fallback)
 // instruction on the scheduler with a fresh arbitration stamp.
 func (p *Proc) enqueueWaiting(idx int, e *robEntry) {
@@ -71,6 +93,7 @@ func (p *Proc) parkOn(r int, ref waitRef) {
 // Dispatch stamps are monotonic, so the common case is an append; wakes
 // of older instructions splice into the middle.
 func (p *Proc) readyInsert(ref waitRef) {
+	p.readyDirty = true
 	q := p.readyQ
 	if n := len(q); n == 0 || q[n-1].stamp < ref.stamp {
 		p.readyQ = append(q, ref)

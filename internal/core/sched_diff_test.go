@@ -48,6 +48,10 @@ func runStats(t *testing.T, b *workload.Benchmark, cfg Config) *Stats {
 // register file without DAEC (long-lived entries, the aliasing corner
 // PR 1 fixed).
 func TestSchedulerDifferentialSpecint(t *testing.T) {
+	// The event leg keeps fast-forward at its default (on), so this
+	// suite compares the naive scan against the full fast-forwarded
+	// engine — the naive/fastforward matrix pair.
+	skipUnlessPair(t, "fastforward", "naive")
 	cases := []struct {
 		name   string
 		bench  string
@@ -86,6 +90,7 @@ func TestSchedulerDifferentialSpecint(t *testing.T) {
 // TestSchedulerDifferentialRandom compares the engines over random,
 // guaranteed-halting programs (run to completion, no budget).
 func TestSchedulerDifferentialRandom(t *testing.T) {
+	skipUnlessPair(t, "fastforward", "naive")
 	for seed := int64(0); seed < 20; seed++ {
 		wl := workload.Random(seed)
 		for _, mode := range []Mode{ModeCI, ModeVect} {
@@ -110,6 +115,7 @@ func TestSchedulerDifferentialRandom(t *testing.T) {
 // without DAEC keeps entries alive long enough for their recurrence
 // chains to outlive ring slots.
 func TestSchedulerLockstep(t *testing.T) {
+	skipUnlessPair(t, "naive", "event")
 	wl, err := workload.Spec("vpr")
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +126,11 @@ func TestSchedulerLockstep(t *testing.T) {
 			c.WindowSize = WindowFor(0)
 			c.DisableDAEC = true
 			c.MaxInstr = 40_000
+			// Per-cycle comparison needs the stepped reference: the
+			// fast-forward engine jumps stall cycles, so a fast-forwarded
+			// run is only comparable at matching cycle counts (that
+			// alignment is TestFastForwardCycleAlignment's job).
+			c.NoFastForward = true
 		})
 		p, err := New(cfg, wl.Program, wl.NewMem())
 		if err != nil {

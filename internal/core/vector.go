@@ -666,6 +666,11 @@ func (p *Proc) tryIssueReplica(ent *ci.Entry, abs int, slot *ci.Replica) {
 		if !r.OK {
 			return // no port this cycle
 		}
+		// The access may have latched a wide-bus line a blocked scalar
+		// load could coalesce from next cycle; replica arbitration runs
+		// after the issue scan, so tell the fast-forward engine its
+		// no-issue observation is stale.
+		p.readyDirty = true
 		slot.Value = p.mem.Read64(slot.Addr)
 		slot.State = ci.ReplicaIssued
 		slot.DoneAt = p.cycle + uint64(r.Lat)

@@ -126,6 +126,15 @@ func (f *File) Sample() {
 	f.occSamples++
 }
 
+// SampleN records n occupancy samples at the current occupancy in one
+// call — the batched catch-up a stall fast-forward uses for skipped
+// cycles. With no allocation activity in between (which skipped cycles
+// guarantee), it is bit-identical to n consecutive Sample calls.
+func (f *File) SampleN(n uint64) {
+	f.occSum += n * uint64(f.inUse)
+	f.occSamples += n
+}
+
 // AvgInUse returns the mean occupancy across samples (§2.4.2's metric).
 func (f *File) AvgInUse() float64 {
 	if f.occSamples == 0 {

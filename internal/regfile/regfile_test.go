@@ -245,3 +245,27 @@ func TestSpecMemBadSizePanics(t *testing.T) {
 	}()
 	NewSpecMem(0, 2)
 }
+
+func TestSampleNMatchesRepeatedSample(t *testing.T) {
+	// SampleN(n) with unchanged occupancy must be bit-identical to n
+	// Sample calls — the equivalence the fast-forward engine's batched
+	// catch-up relies on.
+	a, b := NewFile(32), NewFile(32)
+	for i := 0; i < 7; i++ {
+		ra, _ := a.Alloc()
+		rb, _ := b.Alloc()
+		a.Write(ra, 1)
+		b.Write(rb, 1)
+	}
+	a.Sample()
+	b.Sample()
+	for i := 0; i < 41; i++ {
+		a.Sample()
+	}
+	b.SampleN(41)
+	a.Sample()
+	b.Sample()
+	if a.AvgInUse() != b.AvgInUse() {
+		t.Errorf("SampleN average %v != repeated-Sample average %v", b.AvgInUse(), a.AvgInUse())
+	}
+}
