@@ -1,6 +1,7 @@
 // Command ciasm assembles a program and runs it on the architectural
-// emulator, printing the disassembly and final register state — handy
-// for writing kernels before feeding them to the timing simulator.
+// emulator (via the public civect/sim workload API), printing the
+// disassembly and final register state — handy for writing kernels
+// before feeding them to the timing simulator.
 //
 // Usage:
 //
@@ -16,9 +17,7 @@ import (
 	"io"
 	"os"
 
-	"civect/internal/asm"
-	"civect/internal/emu"
-	"civect/internal/isa"
+	"civect/sim"
 )
 
 func main() {
@@ -43,25 +42,25 @@ func main() {
 		os.Exit(1)
 	}
 
-	prog, err := asm.Assemble(path, string(src))
+	w, err := sim.Custom(path, string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ciasm:", err)
 		os.Exit(1)
 	}
-	fmt.Print(prog.Disassemble())
+	fmt.Print(w.Disassemble())
 	if *disOnly {
 		return
 	}
 
-	cpu := emu.New(nil)
-	if err := cpu.Run(prog, *maxInstr); err != nil {
+	arch, err := w.Emulate(*maxInstr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ciasm:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nhalted after %d instructions; non-zero registers:\n", cpu.Executed)
-	for r := 0; r < isa.NumLogical; r++ {
-		if cpu.Regs[r] != 0 {
-			fmt.Printf("  R%-2d = %d (%#x)\n", r, cpu.Regs[r], cpu.Regs[r])
+	fmt.Printf("\nhalted after %d instructions; non-zero registers:\n", arch.Executed)
+	for r := 0; r < sim.NumLogical; r++ {
+		if arch.Regs[r] != 0 {
+			fmt.Printf("  R%-2d = %d (%#x)\n", r, arch.Regs[r], arch.Regs[r])
 		}
 	}
 }

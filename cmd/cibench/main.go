@@ -4,6 +4,10 @@
 // hot path is tracked in-repo from one change to the next. cmd/cigate
 // compares a fresh run against the committed baseline in CI.
 //
+// Simulations are built and run through the public civect/sim façade;
+// rows run sequentially on purpose — each is a testing.Benchmark
+// sample whose timing a concurrent session would pollute.
+//
 // Besides the per-mode/per-tier whole-run rows, cibench emits an
 // "issue" micro row: the marginal throughput of a warmed steady-state
 // ci-mode cycle slice, which isolates the scheduler hot loop (issue
@@ -18,45 +22,43 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"testing"
 
-	"civect/internal/benchfmt"
-	"civect/internal/core"
-	"civect/internal/workload"
+	"civect/sim"
 )
 
-func measure(mode core.Mode, bench string, instr uint64) (benchfmt.Result, error) {
-	wl, err := workload.Spec(bench)
+func measure(mode sim.Mode, bench string, instr uint64) (sim.BenchResult, error) {
+	w, err := sim.Load(bench)
 	if err != nil {
-		return benchfmt.Result{}, err
+		return sim.BenchResult{}, err
 	}
-	var st *core.Stats
+	var res *sim.Result
 	var runErr error
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			cfg := core.DefaultConfig(mode)
-			cfg.MaxInstr = instr
-			p, err := core.New(cfg, wl.Program, wl.NewMem())
+			s, err := sim.New(w, sim.WithMode(mode), sim.WithInstrBudget(instr))
 			if err != nil {
 				runErr = err
 				return
 			}
-			if st, err = p.Run(); err != nil {
+			if res, err = s.Run(context.Background()); err != nil {
 				runErr = err
 				return
 			}
 		}
 	})
 	if runErr != nil {
-		return benchfmt.Result{}, fmt.Errorf("%s/%v: %w", bench, mode, runErr)
+		return sim.BenchResult{}, fmt.Errorf("%s/%v: %w", bench, mode, runErr)
 	}
 	ns := br.NsPerOp()
-	return benchfmt.Result{
+	st := res.Stats
+	return sim.BenchResult{
 		Mode:            mode.String(),
 		Bench:           bench,
 		Instr:           instr,
@@ -70,17 +72,17 @@ func measure(mode core.Mode, bench string, instr uint64) (benchfmt.Result, error
 }
 
 // measureIssueStage micro-benchmarks the scheduler hot loop: a ci-mode
-// gcc pipeline is warmed past the table-churn phase, then a fixed slice
-// of cycles is timed. The slice's committed-instruction and reuse
-// deltas are deterministic, so the gate's exact-match check pins the
-// scheduler's semantics along with its speed; throughput over the slice
-// isolates the per-cycle scheduling cost from setup and workload
-// generation.
-func measureIssueStage() (benchfmt.Result, error) {
+// gcc session is warmed past the table-churn phase, then a fixed slice
+// of cycles is timed via Session.Step. The slice's committed-instruction
+// and reuse deltas are deterministic, so the gate's exact-match check
+// pins the scheduler's semantics along with its speed; throughput over
+// the slice isolates the per-cycle scheduling cost from setup and
+// workload generation.
+func measureIssueStage() (sim.BenchResult, error) {
 	const warmCycles, sliceCycles = 20_000, 50_000
-	wl, err := workload.SpecWithIters("gcc", 50_000_000)
+	w, err := sim.LoadWithIters("gcc", 50_000_000)
 	if err != nil {
-		return benchfmt.Result{}, err
+		return sim.BenchResult{}, err
 	}
 	var committed, reused uint64
 	var runErr error
@@ -88,33 +90,37 @@ func measureIssueStage() (benchfmt.Result, error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			p, err := core.New(core.DefaultConfig(core.ModeCI), wl.Program, wl.NewMem())
+			s, err := sim.New(w, sim.WithMode(sim.CI))
 			if err != nil {
 				runErr = err
 				return
 			}
-			for c := 0; c < warmCycles; c++ {
-				p.Step()
+			if _, err := s.Step(warmCycles); err != nil {
+				runErr = err
+				return
 			}
-			c0, r0 := p.Stats.Committed, p.Stats.CommittedReuse
+			st0 := s.Stats()
 			b.StartTimer()
-			for c := 0; c < sliceCycles; c++ {
-				p.Step()
-			}
+			_, stepErr := s.Step(sliceCycles)
 			b.StopTimer()
-			if p.Halted() {
+			if stepErr != nil {
+				runErr = stepErr
+				return
+			}
+			if s.Halted() {
 				runErr = fmt.Errorf("issue-stage slice ran past the workload's halt")
 				return
 			}
-			committed = p.Stats.Committed - c0
-			reused = p.Stats.CommittedReuse - r0
+			st1 := s.Stats()
+			committed = st1.Committed - st0.Committed
+			reused = st1.CommittedReuse - st0.CommittedReuse
 		}
 	})
 	if runErr != nil {
-		return benchfmt.Result{}, fmt.Errorf("issue-stage micro: %w", runErr)
+		return sim.BenchResult{}, fmt.Errorf("issue-stage micro: %w", runErr)
 	}
 	ns := br.NsPerOp()
-	return benchfmt.Result{
+	return sim.BenchResult{
 		Mode:            "issue",
 		Bench:           "gcc",
 		Instr:           committed,
@@ -134,10 +140,9 @@ func main() {
 	micro := flag.Bool("micro", true, "include the issue-stage scheduler microbenchmark row")
 	flag.Parse()
 
-	modes := []core.Mode{core.ModeScalar, core.ModeWideBus, core.ModeCI, core.ModeCIIW, core.ModeVect}
-	var results []benchfmt.Result
+	var results []sim.BenchResult
 	for _, b := range strings.Split(*bench, ",") {
-		for _, m := range modes {
+		for _, m := range sim.Modes() {
 			r, err := measure(m, b, *instr)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
@@ -159,7 +164,7 @@ func main() {
 		results = append(results, r)
 	}
 
-	blob, err := benchfmt.Marshal(results)
+	blob, err := sim.MarshalBenchResults(results)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
 		os.Exit(1)

@@ -30,7 +30,7 @@ import (
 
 	"civect/internal/harness"
 	"civect/internal/sweep"
-	"civect/internal/workload"
+	"civect/sim"
 )
 
 func fail(err error) {
@@ -61,9 +61,9 @@ func main() {
 	case "base":
 		// The harness default.
 	case "big":
-		opt.Benches = workload.BigNames()
+		opt.Benches = sim.BigWorkloads()
 	case "both":
-		opt.Benches = append(workload.Names(), workload.BigNames()...)
+		opt.Benches = sim.Workloads()
 	default:
 		fmt.Fprintf(os.Stderr, "ciexp: unknown tier %q (base, big, both)\n", *tier)
 		os.Exit(2)

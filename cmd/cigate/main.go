@@ -23,7 +23,7 @@ import (
 	"fmt"
 	"os"
 
-	"civect/internal/benchfmt"
+	"civect/sim"
 )
 
 func main() {
@@ -39,18 +39,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cigate: -tol must be in [0, 1)")
 		os.Exit(2)
 	}
-	baseline, err := benchfmt.Load(*baselinePath)
+	baseline, err := sim.LoadBenchResults(*baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cigate: %v\n", err)
 		os.Exit(2)
 	}
-	fresh, err := benchfmt.Load(flag.Arg(0))
+	fresh, err := sim.LoadBenchResults(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cigate: %v\n", err)
 		os.Exit(2)
 	}
 
-	problems := benchfmt.Compare(baseline, fresh, benchfmt.GateOptions{ThroughputTolerance: *tol})
+	problems := sim.GateBench(baseline, fresh, *tol)
 	if len(problems) == 0 {
 		fmt.Printf("cigate: %d cells within tolerance (throughput -%.0f%%, stats exact)\n",
 			len(baseline), 100**tol)

@@ -1,5 +1,8 @@
 // Command cimerge joins the per-shard result files of a sharded sweep
-// (ciexp -shard k/n -json) back into the complete paper tables.
+// (ciexp -shard k/n -json) back into the complete paper tables. It is
+// a pure table-merging tool: no simulation runs here (the shards were
+// produced by ciexp over the civect/sim façade), so it speaks to the
+// sweep subsystem only.
 //
 // Merging validates exact coverage against the deterministic sweep
 // plan recomputed from the shard headers: every cell must be present

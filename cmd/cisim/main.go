@@ -1,39 +1,27 @@
 // Command cisim runs a single simulation and prints its statistics.
+// It is a thin CLI over the public civect/sim API.
 //
 // Usage:
 //
 //	cisim -bench gcc -mode ci -ports 1 -regs 256 -instr 200000
+//	cisim -bench mcf.big -mode ci -json
 //	cisim -dump-config
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"civect/internal/core"
-	"civect/internal/workload"
+	"civect/sim"
 )
 
-func parseMode(s string) (core.Mode, bool) {
-	switch s {
-	case "scal":
-		return core.ModeScalar, true
-	case "wb":
-		return core.ModeWideBus, true
-	case "ci":
-		return core.ModeCI, true
-	case "ci-iw":
-		return core.ModeCIIW, true
-	case "vect":
-		return core.ModeVect, true
-	}
-	return 0, false
-}
-
 func main() {
-	bench := flag.String("bench", "gcc", "benchmark name (one of the SpecInt2000 stand-ins)")
+	bench := flag.String("bench", "gcc", "benchmark name (one of the SpecInt2000 stand-ins, either tier)")
 	modeStr := flag.String("mode", "ci", "machine mode: scal, wb, ci, ci-iw, vect")
+	engineStr := flag.String("engine", "fast-forward", "simulation engine: fast-forward, event, naive")
 	ports := flag.Int("ports", 1, "L1 data cache ports")
 	regs := flag.Int("regs", 256, "physical registers (0 = unbounded)")
 	replicas := flag.Int("replicas", 4, "replicas per vectorized instruction")
@@ -42,11 +30,12 @@ func main() {
 	specMemLat := flag.Int("specmemlat", 2, "speculative data memory latency")
 	noDAEC := flag.Bool("nodaec", false, "disable the DAEC register reclamation")
 	instr := flag.Uint64("instr", 200_000, "committed-instruction budget")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (the versioned benchfmt-based schema)")
 	dumpConfig := flag.Bool("dump-config", false, "print the Table 1 configuration and exit")
 	flag.Parse()
 
 	if *dumpConfig {
-		cfg := core.DefaultConfig(core.ModeCI)
+		cfg := sim.DefaultConfig(sim.CI)
 		fmt.Printf("fetch/decode/issue/commit width: %d/%d/%d/%d\n",
 			cfg.FetchWidth, cfg.DecodeWidth, cfg.IssueWidth, cfg.CommitWidth)
 		fmt.Printf("instruction window: %d, LSQ: %d\n", cfg.WindowSize, cfg.LSQSize)
@@ -62,39 +51,55 @@ func main() {
 		return
 	}
 
-	mode, ok := parseMode(*modeStr)
-	if !ok {
+	mode, err := sim.ParseMode(*modeStr)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "cisim: unknown mode %q\n", *modeStr)
 		os.Exit(2)
 	}
-	b, err := workload.Spec(*bench)
+	engine, err := sim.ParseEngine(*engineStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cisim:", err)
+		os.Exit(2)
+	}
+	w, err := sim.Load(*bench)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cisim:", err)
 		os.Exit(2)
 	}
 
-	cfg := core.DefaultConfig(mode)
-	cfg.DL1Ports = *ports
-	cfg.PhysRegs = *regs
-	cfg.WindowSize = core.WindowFor(*regs)
-	cfg.Replicas = *replicas
-	cfg.StridedPCsPerEntry = *stridedPCs
-	cfg.SpecMemSize = *specMem
-	cfg.SpecMemLat = *specMemLat
-	cfg.DisableDAEC = *noDAEC
-	cfg.MaxInstr = *instr
-
-	p, err := core.New(cfg, b.Program, b.NewMem())
+	s, err := sim.New(w,
+		sim.WithMode(mode),
+		sim.WithEngine(engine),
+		sim.WithPorts(*ports),
+		sim.WithRegs(*regs),
+		sim.WithReplicas(*replicas),
+		sim.WithStridedPCs(*stridedPCs),
+		sim.WithSpecMem(*specMem),
+		sim.WithSpecMemLatency(*specMemLat),
+		sim.WithDAEC(!*noDAEC),
+		sim.WithInstrBudget(*instr),
+	)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cisim:", err)
 		os.Exit(1)
 	}
-	st, err := p.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cisim:", err)
 		os.Exit(1)
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "cisim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	st := res.Stats
 	fmt.Printf("%s / %s / %d port(s) / %s regs\n", *bench, mode, *ports, regLabel(*regs))
 	fmt.Printf("cycles             %12d\n", st.Cycles)
 	fmt.Printf("committed          %12d   IPC %.3f\n", st.Committed, st.IPC())

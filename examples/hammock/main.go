@@ -1,38 +1,29 @@
 // Hammock: dissect the mechanism on the paper's running example —
 // re-convergence detection (Figure 2), CI selection (Figure 5's
 // categories) and the per-episode behaviour, using the synthetic
-// workload generator at different branch biases.
+// workload generator at different branch biases, all through the
+// public civect/sim API.
 //
 //	go run ./examples/hammock
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"civect/internal/ci"
-	"civect/internal/core"
-	"civect/internal/workload"
+	"civect/sim"
 )
 
 func main() {
 	// Show the re-convergence heuristics on the generated kernel.
-	b := workload.Hammock(1024, 0.5, 42)
-	prog := b.Program
+	w := sim.Hammock(1024, 0.5, 42)
 	fmt.Println("generated hammock kernel:")
-	fmt.Print(prog.Disassemble())
+	fmt.Print(w.Disassemble())
 	fmt.Println("estimated re-convergent points (§2.3.1 heuristics):")
-	for pc, in := range prog.Code {
-		if in.IsCondBranch() {
-			kind := "if-then"
-			if in.Target <= pc {
-				kind = "loop (backward)"
-			} else if above := prog.At(in.Target - 1); above.IsJump() && above.Target > in.Target-1 {
-				kind = "if-then-else"
-			}
-			fmt.Printf("  branch @%-3d -> re-converges @%-3d  (%s)\n",
-				pc, ci.EstimateReconvergence(prog, pc), kind)
-		}
+	for _, rc := range w.Reconvergences() {
+		fmt.Printf("  branch @%-3d -> re-converges @%-3d  (%s)\n",
+			rc.BranchPC, rc.JoinPC, rc.Kind)
 	}
 
 	// Sweep the branch bias: the harder the branch, the more episodes
@@ -41,17 +32,18 @@ func main() {
 	fmt.Printf("%-6s %8s %12s %12s %14s %12s\n",
 		"bias", "IPC", "mispredicts", "episodes", "with reuse", "reused instr")
 	for _, zeroFrac := range []float64{0.05, 0.25, 0.50} {
-		wl := workload.Hammock(1024, zeroFrac, 42)
-		cfg := core.DefaultConfig(core.ModeCI)
-		cfg.MaxInstr = 100_000
-		p, err := core.New(cfg, wl.Program, wl.NewMem())
+		s, err := sim.New(sim.Hammock(1024, zeroFrac, 42),
+			sim.WithMode(sim.CI),
+			sim.WithInstrBudget(100_000),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := p.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
+		st := res.Stats
 		fmt.Printf("%-6.2f %8.3f %12d %12d %14d %12d\n",
 			zeroFrac, st.IPC(), st.Mispredicts, st.HardMispredicts,
 			st.EpisodesReused, st.CommittedReuse)
@@ -59,5 +51,5 @@ func main() {
 
 	// Hardware cost of the structures, as in §3.1.
 	fmt.Println("\nhardware cost of the mechanism (§3.1):")
-	fmt.Println(ci.HardwareCost(ci.DefaultCostConfig()))
+	fmt.Println(sim.HardwareCost())
 }

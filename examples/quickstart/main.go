@@ -1,18 +1,17 @@
 // Quickstart: assemble a small kernel, run it on the functional
 // emulator and on the timing simulator with and without the
-// control-independence mechanism, and print what the mechanism did.
+// control-independence mechanism, and print what the mechanism did —
+// entirely through the public civect/sim API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"civect/internal/asm"
-	"civect/internal/core"
-	"civect/internal/emu"
-	"civect/internal/mem"
+	"civect/sim"
 )
 
 // The paper's Figure 1: count the zero and non-zero elements of a
@@ -38,14 +37,13 @@ join:   add  r4, r4, r0    ; control independent (I11)
 `
 
 func main() {
-	prog, err := asm.Assemble("figure1", kernel)
+	w, err := sim.Custom("figure1", kernel)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Data: pseudo-random pattern, ~25% zeros — hard for the predictor
 	// but with enough bias that prediction is not pure noise.
-	image := mem.New()
 	x := uint64(0x2545F4914F6CDD1D)
 	for i := 0; i < 16384; i++ {
 		x ^= x << 13
@@ -55,33 +53,33 @@ func main() {
 		if x&3 != 0 {
 			v = x % 1000
 		}
-		image.Write64(uint64(0x1000+i*8), v)
+		w.SetWord(uint64(0x1000+i*8), v)
 	}
 
 	// Architectural reference.
-	ref := emu.New(image.Clone())
-	if err := ref.Run(prog, 0); err != nil {
+	ref, err := w.Emulate(0)
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("architectural result: non-zero=%d zero=%d sum=%d (%d instructions)\n\n",
 		ref.Regs[2], ref.Regs[3], ref.Regs[4], ref.Executed)
 
-	for _, mode := range []core.Mode{core.ModeScalar, core.ModeWideBus, core.ModeCI} {
-		cfg := core.DefaultConfig(mode)
-		p, err := core.New(cfg, prog, image.Clone())
+	for _, mode := range []sim.Mode{sim.Scalar, sim.WideBus, sim.CI} {
+		s, err := sim.New(w, sim.WithMode(mode))
 		if err != nil {
 			log.Fatal(err)
 		}
-		st, err := p.Run()
+		res, err := s.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		arf := p.ARF()
+		arf := s.ARF()
 		if arf[2] != ref.Regs[2] || arf[3] != ref.Regs[3] || arf[4] != ref.Regs[4] {
 			log.Fatalf("%v: architectural mismatch!", mode)
 		}
+		st := res.Stats
 		fmt.Printf("%-5v  IPC %5.3f   cycles %6d   mispredicts %4d", mode, st.IPC(), st.Cycles, st.Mispredicts)
-		if mode == core.ModeCI {
+		if mode == sim.CI {
 			fmt.Printf("   reused %d instructions (%.1f%%), %d replicas",
 				st.CommittedReuse, 100*st.ReuseFraction(), st.ReplicasDispatched)
 		}

@@ -2,39 +2,40 @@
 // register file and watch the mechanism flip from harmful (128
 // registers: replicas strangle the conventional window) to strongly
 // beneficial (512+), and compare register occupancy with and without
-// the DAEC reclamation counter.
+// the DAEC reclamation counter. Runs through the public civect/sim
+// API.
 //
 //	go run ./examples/regpressure [bench]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"civect/internal/core"
-	"civect/internal/workload"
+	"civect/sim"
 )
 
-func run(bench string, mode core.Mode, regs int, noDAEC bool) *core.Stats {
-	b, err := workload.Spec(bench)
+func run(bench string, mode sim.Mode, regs int, daec bool) sim.Stats {
+	w, err := sim.Load(bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig(mode)
-	cfg.PhysRegs = regs
-	cfg.WindowSize = core.WindowFor(regs)
-	cfg.DisableDAEC = noDAEC
-	cfg.MaxInstr = 80_000
-	p, err := core.New(cfg, b.Program, b.NewMem())
+	s, err := sim.New(w,
+		sim.WithMode(mode),
+		sim.WithRegs(regs),
+		sim.WithDAEC(daec),
+		sim.WithInstrBudget(80_000),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := p.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	return st
+	return res.Stats
 }
 
 func main() {
@@ -46,8 +47,8 @@ func main() {
 	fmt.Printf("register sweep on %q (1 wide L1D port):\n", bench)
 	fmt.Printf("%-10s %8s %8s %8s %10s\n", "registers", "wb", "ci", "gain", "avg in use")
 	for _, regs := range []int{128, 256, 512, 768, 0} {
-		wb := run(bench, core.ModeWideBus, regs, false)
-		ciS := run(bench, core.ModeCI, regs, false)
+		wb := run(bench, sim.WideBus, regs, true)
+		ciS := run(bench, sim.CI, regs, true)
 		label := fmt.Sprint(regs)
 		if regs == 0 {
 			label = "inf"
@@ -57,8 +58,8 @@ func main() {
 	}
 
 	fmt.Println("\n§2.4.2: registers in use with an unbounded file (paper: 812 without DAEC, 304 with):")
-	noDaec := run(bench, core.ModeCI, 0, true)
-	daec := run(bench, core.ModeCI, 0, false)
+	noDaec := run(bench, sim.CI, 0, false)
+	daec := run(bench, sim.CI, 0, true)
 	fmt.Printf("  without DAEC: %7.1f avg, %d peak\n", noDaec.RegAvgInUse, noDaec.RegPeak)
 	fmt.Printf("  with DAEC:    %7.1f avg, %d peak\n", daec.RegAvgInUse, daec.RegPeak)
 }

@@ -3,40 +3,43 @@
 // memory (§2.4.6). The paper's claim: 256 registers + 768 positions
 // performs like an unbounded monolithic file. Also reproduces the §3.2
 // latency experiment (a 5-cycle speculative memory costs only a few
-// percent).
+// percent). Runs through the public civect/sim API.
 //
 //	go run ./examples/specmem [bench]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"civect/internal/core"
-	"civect/internal/workload"
+	"civect/sim"
 )
 
-func run(bench string, regs, specMem, specLat int) *core.Stats {
-	b, err := workload.Spec(bench)
+func run(bench string, regs, specMem, specLat int) sim.Stats {
+	w, err := sim.Load(bench)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig(core.ModeCI)
-	cfg.PhysRegs = regs
-	cfg.WindowSize = core.WindowFor(regs)
-	cfg.SpecMemSize = specMem
-	cfg.SpecMemLat = specLat
-	cfg.MaxInstr = 80_000
-	p, err := core.New(cfg, b.Program, b.NewMem())
+	opts := []sim.Option{
+		sim.WithMode(sim.CI),
+		sim.WithRegs(regs),
+		sim.WithSpecMem(specMem),
+		sim.WithInstrBudget(80_000),
+	}
+	if specLat > 0 {
+		opts = append(opts, sim.WithSpecMemLatency(specLat))
+	}
+	s, err := sim.New(w, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st, err := p.Run()
+	res, err := s.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	return st
+	return res.Stats
 }
 
 func main() {

@@ -11,6 +11,13 @@ import (
 	"os"
 )
 
+// SchemaVersion is the current version of the result schema. The
+// committed baseline (BENCH_core.json) stays a bare array of Result
+// rows for backward compatibility; richer envelopes (sim.Result)
+// carry the version explicitly and bump it on breaking layout
+// changes.
+const SchemaVersion = 1
+
 // Result is one measurement: simulator speed and allocation behaviour
 // for a fresh simulation of Instr committed instructions, plus the
 // simulated statistics that must be bit-reproducible.

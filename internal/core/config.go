@@ -62,6 +62,23 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// Modes lists every machine mode in the paper's presentation order
+// (scal, wb, ci, ci-iw, vect).
+func Modes() []Mode {
+	return []Mode{ModeScalar, ModeWideBus, ModeCI, ModeCIIW, ModeVect}
+}
+
+// ParseMode inverts Mode.String: it is the one mode-name table shared
+// by every CLI flag, bench row and the sim façade.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown mode %q (want scal, wb, ci, ci-iw or vect)", s)
+}
+
 // UsesWideBus reports whether the mode includes wide L1D buses. In the
 // paper every configuration beyond the plain scalar baseline is built on
 // wide buses.
@@ -246,6 +263,8 @@ func DefaultConfig(mode Mode) Config {
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
 	switch {
+	case c.Mode < ModeScalar || c.Mode > ModeVect:
+		return fmt.Errorf("core: invalid mode %d", int(c.Mode))
 	case c.FetchWidth <= 0 || c.DecodeWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
 		return fmt.Errorf("core: pipeline widths must be positive")
 	case c.WindowSize < 4:

@@ -144,9 +144,13 @@ func (p *Proc) maybeFastForward() {
 	// budget, spec-mem ports) is reset state nothing read.
 	p.rf.SampleN(n)
 	p.hier.AdvanceTo(t - 1)
+	from := p.cycle
 	p.cycle = t - 1
 	p.ffJumps++
 	p.ffSkipped += n
+	if p.obs != nil {
+		p.obs.OnCycleJump(from, p.cycle)
+	}
 }
 
 // FastForward reports the engine's activity: how many skips happened

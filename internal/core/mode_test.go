@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModeRoundTrip pins the one shared mode↔string mapping: every
+// mode's name parses back to itself, and nothing else parses.
+func TestModeRoundTrip(t *testing.T) {
+	modes := Modes()
+	if len(modes) != 5 {
+		t.Fatalf("Modes() lists %d modes, want 5", len(modes))
+	}
+	wantNames := []string{"scal", "wb", "ci", "ci-iw", "vect"}
+	for i, m := range modes {
+		if m.String() != wantNames[i] {
+			t.Errorf("mode %d: String() = %q, want %q", i, m, wantNames[i])
+		}
+		got, err := ParseMode(m.String())
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Errorf("ParseMode(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	for _, bad := range []string{"", "CI", "scalar", "mode(2)", "fast-forward"} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Errorf("ParseMode(%q) must fail", bad)
+		} else if !strings.Contains(err.Error(), "unknown mode") {
+			t.Errorf("ParseMode(%q) error %q lacks context", bad, err)
+		}
+	}
+}
+
+// TestValidateRejectsInvalidMode ensures an out-of-range mode is a
+// construction-time error, not a silently weird machine.
+func TestValidateRejectsInvalidMode(t *testing.T) {
+	cfg := DefaultConfig(ModeCI)
+	cfg.Mode = Mode(99)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate must reject mode 99")
+	}
+	cfg.Mode = Mode(-1)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate must reject mode -1")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+// Observer receives batched taps from a running simulation. All hooks
+// are strictly read-only notifications: the processor hands out values,
+// never references to mutable state, so an observer cannot perturb the
+// simulation — runs with and without one are bit-identical (the sim
+// package's differential test pins this).
+//
+// The hooks are batched so observation stays off the per-instruction
+// path: OnCommitBatch fires at most once per simulated cycle (commit is
+// the only stage that retires instructions, up to CommitWidth per
+// cycle), OnCycleJump only when the fast-forward engine skips a stall
+// region, and OnProgress at the registered committed-instruction
+// cadence. With no observer registered the hot loop pays one
+// predictable nil check per cycle and allocates nothing.
+type Observer interface {
+	// OnCommitBatch reports that the cycle just simulated retired
+	// committed instructions, reused of which reused a precomputed
+	// (validated or squash-reuse) value. committed is always >= 1.
+	OnCommitBatch(cycle uint64, committed, reused int)
+	// OnCycleJump reports a stall-cycle fast-forward: the engine moved
+	// the cycle counter from from to to (the cycle just before the next
+	// actionable one) without simulating the to-from cycles in between.
+	OnCycleJump(from, to uint64)
+	// OnProgress fires each time at least the registered progress
+	// interval of committed instructions has accumulated since the last
+	// report (checked at commit batches, so the callback cadence is
+	// approximate).
+	OnProgress(cycle, committed uint64)
+}
+
+// SetObserver registers o (nil detaches) to receive taps from
+// subsequent cycles. progressEvery is the committed-instruction
+// interval between OnProgress callbacks; 0 disables them.
+func (p *Proc) SetObserver(o Observer, progressEvery uint64) {
+	p.obs = o
+	p.obsProgressEvery = progressEvery
+	p.obsCommitted = p.Stats.Committed
+	p.obsReused = p.Stats.CommittedReuse
+	p.obsLastProgress = p.Stats.Committed
+}
+
+// observeCommits emits the cycle's commit batch (and any due progress
+// report) to the registered observer. Called from step only when an
+// observer is registered.
+func (p *Proc) observeCommits() {
+	d := p.Stats.Committed - p.obsCommitted
+	if d == 0 {
+		return
+	}
+	r := p.Stats.CommittedReuse - p.obsReused
+	p.obsCommitted = p.Stats.Committed
+	p.obsReused = p.Stats.CommittedReuse
+	p.obs.OnCommitBatch(p.cycle, int(d), int(r))
+	if p.obsProgressEvery > 0 && p.Stats.Committed-p.obsLastProgress >= p.obsProgressEvery {
+		p.obsLastProgress = p.Stats.Committed
+		p.obs.OnProgress(p.cycle, p.Stats.Committed)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"civect/internal/bpred"
@@ -370,6 +371,15 @@ type Proc struct {
 	ffJumps     uint64
 	ffSkipped   uint64
 
+	// Registered observer (observer.go) and its batching cursors: the
+	// stats values already reported, and the committed count at the
+	// last progress callback.
+	obs              Observer
+	obsProgressEvery uint64
+	obsCommitted     uint64
+	obsReused        uint64
+	obsLastProgress  uint64
+
 	// Per-cycle budgets.
 	aluFree, mulFree int
 	issueBudget      int
@@ -477,18 +487,49 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 // budget is exhausted, or the cycle safety bound trips. It returns the
 // final statistics.
 func (p *Proc) Run() (*Stats, error) {
+	return p.RunContext(context.Background())
+}
+
+// ctxCheckInterval is how many simulated cycles RunContext advances
+// between context polls. Checks land only on whole-cycle boundaries —
+// never inside a fast-forward jump — so a cancelled run's statistics
+// are a well-formed prefix of the uncancelled run's. 1024 steps is
+// microseconds of wall time, and with a Background context (nil Done
+// channel) the polling is skipped entirely.
+const ctxCheckInterval = 1024
+
+// RunContext is Run under a context: cancellation or an expired
+// deadline stops the simulation at the next cycle boundary. On
+// cancellation it returns the partial statistics accumulated so far
+// together with ctx.Err(), so callers can report work done before the
+// cut; every other error returns nil stats as Run does.
+func (p *Proc) RunContext(ctx context.Context) (*Stats, error) {
+	done := ctx.Done()
 	maxCycles := p.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
 	lastCommit := uint64(0)
 	lastCommitCycle := uint64(0)
+	ctxCheck := ctxCheckInterval
 	for !p.halted {
 		if p.cfg.MaxInstr > 0 && p.Stats.Committed >= p.cfg.MaxInstr {
 			break
 		}
 		if p.cycle >= maxCycles {
 			return nil, fmt.Errorf("core: cycle bound %d exceeded (committed %d)", maxCycles, p.Stats.Committed)
+		}
+		if done != nil {
+			if ctxCheck--; ctxCheck <= 0 {
+				ctxCheck = ctxCheckInterval
+				select {
+				case <-done:
+					p.closeEpisode()
+					p.finalizeStats()
+					return &p.Stats, ctx.Err()
+				default:
+				}
+			}
 		}
 		p.step()
 		// Forward-progress watchdog: a stuck pipeline is a simulator
@@ -546,6 +587,9 @@ func (p *Proc) step() {
 	p.rf.Sample()
 
 	p.commitStage()
+	if p.obs != nil {
+		p.observeCommits()
+	}
 	if p.halted {
 		return
 	}
@@ -565,6 +609,34 @@ func (p *Proc) finalizeStats() {
 	p.Stats.L1D = p.hier.L1D.Stats
 	p.Stats.L2 = p.hier.L2.Stats
 	p.Stats.L3 = p.hier.L3.Stats
+}
+
+// Finalize performs the end-of-run bookkeeping Run does on its own
+// terminal paths — closing the open CI episode and filling the derived
+// statistics — and returns the final stats. Step-driven callers ending
+// a run themselves (budget reached, halt observed) call it so their
+// statistics match a Run to the same point exactly. Idempotent.
+func (p *Proc) Finalize() *Stats {
+	p.closeEpisode()
+	p.finalizeStats()
+	return &p.Stats
+}
+
+// Snapshot returns a copy of the statistics as of now with the
+// end-of-run derived fields (cycle count, register occupancy, cache
+// snapshots) filled in. Unlike the end-of-run finalization it does not
+// close the open CI episode, so snapshotting mid-run never perturbs
+// the remainder of the simulation.
+func (p *Proc) Snapshot() Stats {
+	st := p.Stats
+	st.Cycles = p.cycle
+	st.RegAvgInUse = p.rf.AvgInUse()
+	st.RegPeak = p.rf.Peak()
+	st.L1I = p.hier.L1I.Stats
+	st.L1D = p.hier.L1D.Stats
+	st.L2 = p.hier.L2.Stats
+	st.L3 = p.hier.L3.Stats
+	return st
 }
 
 // ARF returns the committed architectural register values.

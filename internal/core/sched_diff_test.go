@@ -157,43 +157,75 @@ func TestSchedulerLockstep(t *testing.T) {
 // by measurement, not just benchmark observation: after warmup, whole
 // simulated cycles must not allocate. (A tiny bound absorbs one-off
 // buffer growth if a phase change lands inside the measured slice.)
+//
+// The unregistered-observer path is covered explicitly: the default
+// subtest never registers an observer, and the detached subtest
+// registers one and takes it back off before measuring, so the
+// observer seam's nil path is pinned allocation-free from both
+// directions.
 func TestSteadyStateZeroAllocs(t *testing.T) {
-	wl, err := workload.SpecWithIters("gcc", 120_000)
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name    string
+		prepare func(p *Proc)
+	}{
+		{"observer-never-registered", nil},
+		{"observer-detached", func(p *Proc) {
+			p.SetObserver(nopObserver{}, 1)
+			p.SetObserver(nil, 0)
+		}},
 	}
-	cfg := DefaultConfig(ModeCI)
-	p, err := New(cfg, wl.Program, wl.NewMem())
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The warmup must cover the mechanism's churn, not just the caches:
-	// SRSMT ways keep being torn down and recreated, and each way's
-	// first large replica ring, each register's first deep park list and
-	// each data page are one-off allocations.
-	for p.cycle < 100_000 && !p.halted {
-		p.step()
-	}
-	if p.halted {
-		t.Fatal("workload too short for a steady-state slice")
-	}
-	avg := testing.AllocsPerRun(5, func() {
-		for i := 0; i < 2_000 && !p.halted; i++ {
-			p.step()
-		}
-	})
-	if p.halted {
-		t.Fatal("workload ended inside the measured slice")
-	}
-	// The bound is amortized-growth slack, not absolute zero: a park
-	// list or wheel bucket seeing its deepest-ever occupancy inside the
-	// slice grows once and keeps the capacity. Per-cycle allocation
-	// (the regression this test guards against) would show up as
-	// thousands per slice.
-	if avg > 2 {
-		t.Errorf("steady-state cycles allocate: %.2f allocs per 2000-cycle slice", avg)
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			wl, err := workload.SpecWithIters("gcc", 120_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(ModeCI)
+			p, err := New(cfg, wl.Program, wl.NewMem())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.prepare != nil {
+				tc.prepare(p)
+			}
+			// The warmup must cover the mechanism's churn, not just the
+			// caches: SRSMT ways keep being torn down and recreated, and
+			// each way's first large replica ring, each register's first
+			// deep park list and each data page are one-off allocations.
+			for p.cycle < 100_000 && !p.halted {
+				p.step()
+			}
+			if p.halted {
+				t.Fatal("workload too short for a steady-state slice")
+			}
+			avg := testing.AllocsPerRun(5, func() {
+				for i := 0; i < 2_000 && !p.halted; i++ {
+					p.step()
+				}
+			})
+			if p.halted {
+				t.Fatal("workload ended inside the measured slice")
+			}
+			// The bound is amortized-growth slack, not absolute zero: a park
+			// list or wheel bucket seeing its deepest-ever occupancy inside the
+			// slice grows once and keeps the capacity. Per-cycle allocation
+			// (the regression this test guards against) would show up as
+			// thousands per slice.
+			if avg > 2 {
+				t.Errorf("steady-state cycles allocate: %.2f allocs per 2000-cycle slice", avg)
+			}
+		})
 	}
 }
+
+// nopObserver is the registration fodder for the detached-observer
+// zero-alloc subtest.
+type nopObserver struct{}
+
+func (nopObserver) OnCommitBatch(cycle uint64, committed, reused int) {}
+func (nopObserver) OnCycleJump(from, to uint64)                       {}
+func (nopObserver) OnProgress(cycle, committed uint64)                {}
 
 // TestStridePoolAccounting re-derives stride-pool occupancy from the
 // rename map and the in-flight oldRen checkpoints: every live slot has

@@ -4,18 +4,21 @@
 // plots; EXPERIMENTS.md records the paper-vs-measured comparison.
 //
 // Runs are memoized (several figures share the same configurations) and
-// executed in parallel across a bounded worker pool.
+// executed in parallel across a bounded worker pool (sim.Batch).
+// Simulations are built and run exclusively through the public
+// civect/sim façade; the harness adds memoization and the experiment
+// registry on top.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"civect/internal/core"
-	"civect/internal/workload"
+	"civect/sim"
 )
 
 // RunSpec identifies one simulation: a benchmark and the configuration
@@ -61,7 +64,7 @@ func (o Options) withDefaults() Options {
 		o.MaxInstr = 200_000
 	}
 	if len(o.Benches) == 0 {
-		o.Benches = workload.Names()
+		o.Benches = sim.BaseWorkloads()
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
@@ -94,10 +97,10 @@ var plannerStats = &core.Stats{
 	Loads: 100, Stores: 10,
 }
 
-// Harness memoizes simulation runs across experiments. The semaphore
-// bounds simulations in flight regardless of how many experiments or
-// RunAll fan-outs share the harness, so Options.Workers is an
-// end-to-end concurrency bound.
+// Harness memoizes simulation runs across experiments. The shared
+// sim.Batch bounds simulations in flight regardless of how many
+// experiments or RunAll fan-outs share the harness, so Options.Workers
+// is an end-to-end concurrency bound.
 type Harness struct {
 	opt  Options
 	mode harnessMode
@@ -111,13 +114,14 @@ type Harness struct {
 	// enumerate different sets, and the sweep machinery asserts on it
 	// (sweep.RunShard, sweep.Tables).
 	requested map[RunSpec]bool
-	sem       chan struct{}
+	// inflight tracks specs currently simulating so concurrent
+	// identical requests wait for the first instead of burning a second
+	// worker slot on a duplicate run.
+	inflight map[RunSpec]chan struct{}
 
-	// running/maxRunning observe the semaphore: how many simulations
-	// are executing now and the high-water mark. They back the -workers
-	// regression test and MaxConcurrent.
-	running    atomic.Int64
-	maxRunning atomic.Int64
+	// batch is the shared worker pool: every simulation in the harness
+	// runs through it, so its capacity is the end-to-end bound.
+	batch *sim.Batch
 }
 
 // New builds a harness.
@@ -127,7 +131,8 @@ func New(opt Options) *Harness {
 		opt:       opt,
 		cache:     make(map[RunSpec]*core.Stats),
 		requested: make(map[RunSpec]bool),
-		sem:       make(chan struct{}, opt.Workers),
+		inflight:  make(map[RunSpec]chan struct{}),
+		batch:     sim.NewBatch(opt.Workers),
 	}
 }
 
@@ -221,27 +226,35 @@ func (h *Harness) normalize(s RunSpec) RunSpec {
 	return s
 }
 
-// configFor translates a RunSpec into a core.Config, applying the
-// paper's reorder-buffer sizing rule.
-func configFor(s RunSpec) core.Config {
-	cfg := core.DefaultConfig(s.Mode)
-	cfg.DL1Ports = s.Ports
-	cfg.PhysRegs = s.Regs
-	cfg.WindowSize = core.WindowFor(s.Regs)
+// specOptions translates a RunSpec into session options; WithRegs
+// applies the paper's reorder-buffer sizing rule. The zero-valued
+// sweep axes fall back to the Table 1 defaults exactly as the
+// pre-façade config assembly did, so every golden table is pinned to
+// this mapping.
+func specOptions(s RunSpec) []sim.Option {
+	opts := []sim.Option{
+		sim.WithMode(sim.Mode(s.Mode)),
+		sim.WithPorts(s.Ports),
+		sim.WithRegs(s.Regs),
+		sim.WithSpecMem(s.SpecMem),
+		sim.WithInstrBudget(s.MaxInstr),
+	}
 	if s.Replicas > 0 {
-		cfg.Replicas = s.Replicas
+		opts = append(opts, sim.WithReplicas(s.Replicas))
 	}
 	if s.StridedPCs > 0 {
-		cfg.StridedPCsPerEntry = s.StridedPCs
+		opts = append(opts, sim.WithStridedPCs(s.StridedPCs))
 	}
-	cfg.SpecMemSize = s.SpecMem
 	if s.SpecMemLat > 0 {
-		cfg.SpecMemLat = s.SpecMemLat
+		opts = append(opts, sim.WithSpecMemLatency(s.SpecMemLat))
 	}
-	cfg.DisableDAEC = s.NoDAEC
-	cfg.DisableMBSGate = s.NoMBSGate
-	cfg.MaxInstr = s.MaxInstr
-	return cfg
+	if s.NoDAEC {
+		opts = append(opts, sim.WithDAEC(false))
+	}
+	if s.NoMBSGate {
+		opts = append(opts, sim.WithConfigPatch(func(c *sim.Config) { c.DisableMBSGate = true }))
+	}
+	return opts
 }
 
 // Run simulates one spec (memoized). On a planner harness it records
@@ -267,43 +280,40 @@ func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
 	}
 	h.mu.Lock()
 	h.requested[s] = true
-	if st, ok := h.cache[s]; ok {
-		h.mu.Unlock()
-		return st, nil
-	}
-	h.mu.Unlock()
-
-	h.sem <- struct{}{}
-	defer func() { <-h.sem }()
-	n := h.running.Add(1)
 	for {
-		max := h.maxRunning.Load()
-		if n <= max || h.maxRunning.CompareAndSwap(max, n) {
+		if st, ok := h.cache[s]; ok {
+			h.mu.Unlock()
+			return st, nil
+		}
+		ch, ok := h.inflight[s]
+		if !ok {
 			break
 		}
-	}
-	defer h.running.Add(-1)
-
-	// Re-check: another worker may have filled it while we waited.
-	h.mu.Lock()
-	if st, ok := h.cache[s]; ok {
+		// An identical spec is simulating right now: wait for it
+		// (without holding a worker slot) and re-check the cache.
 		h.mu.Unlock()
-		return st, nil
+		<-ch
+		h.mu.Lock()
 	}
+	ch := make(chan struct{})
+	h.inflight[s] = ch
 	h.mu.Unlock()
+	defer func() {
+		h.mu.Lock()
+		delete(h.inflight, s)
+		h.mu.Unlock()
+		close(ch)
+	}()
 
-	b, err := workload.Spec(s.Bench)
+	w, err := sim.Load(s.Bench)
 	if err != nil {
 		return nil, err
 	}
-	p, err := core.New(configFor(s), b.Program, b.NewMem())
+	res, err := h.batch.Run(context.Background(), w, specOptions(s)...)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%v: %v", s.Bench, s.Mode, err)
 	}
-	st, err := p.Run()
-	if err != nil {
-		return nil, fmt.Errorf("%s/%v: %v", s.Bench, s.Mode, err)
-	}
+	st := &res.Stats
 
 	h.mu.Lock()
 	h.cache[s] = st
@@ -313,7 +323,7 @@ func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
 
 // MaxConcurrent returns the highest number of simulations that have
 // executed simultaneously on this harness (never above Options.Workers).
-func (h *Harness) MaxConcurrent() int { return int(h.maxRunning.Load()) }
+func (h *Harness) MaxConcurrent() int { return h.batch.MaxConcurrent() }
 
 // RunExperiments runs experiments concurrently — each experiment in its
 // own goroutine, with the individual simulations still bounded by the
@@ -373,14 +383,18 @@ func (h *Harness) RunAll(base RunSpec) (map[string]*core.Stats, error) {
 
 // HarmonicMeanIPC aggregates per-benchmark IPCs the way the paper does
 // ("harmonic means are used to average IPC across the whole benchmark
-// suite").
+// suite"). The sum runs in sorted-name order: float addition is not
+// associative at the last ulp, and map iteration order is random, so a
+// fixed order is what makes the rendered tables genuinely
+// byte-reproducible across runs, worker counts and processes (the
+// sharded-sweep merge and the -workers 1 check both compare bytes).
 func HarmonicMeanIPC(stats map[string]*core.Stats) float64 {
 	if len(stats) == 0 {
 		return 0
 	}
 	var invSum float64
-	for _, st := range stats {
-		ipc := st.IPC()
+	for _, name := range sortedNames(stats) {
+		ipc := stats[name].IPC()
 		if ipc <= 0 {
 			return 0
 		}

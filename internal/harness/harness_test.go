@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"civect/internal/core"
+	"civect/sim"
 )
 
 // tinyOptions keeps harness tests fast: a few benchmarks, small budget.
@@ -229,7 +230,20 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestWindowRule(t *testing.T) {
-	// configFor must apply the paper's window sizing rule.
+	// specOptions must apply the paper's window sizing rule; resolve
+	// the options through a real session so the test pins what actually
+	// runs.
+	w, err := sim.Load("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	configFor := func(s RunSpec) core.Config {
+		sess, err := sim.New(w, specOptions(s)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess.Config()
+	}
 	cfg := configFor(RunSpec{Bench: "gcc", Mode: core.ModeCI, Ports: 1, Regs: 768})
 	if cfg.WindowSize != 768 {
 		t.Errorf("window = %d, want 768", cfg.WindowSize)

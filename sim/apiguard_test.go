@@ -1,0 +1,75 @@
+package sim_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// allowedInternal lists the internal packages each command or example
+// may still import. The simulation façade rule: nothing below the CLI
+// layer constructs simulations outside civect/sim, so internal/core
+// and internal/workload never appear here; the two exceptions speak to
+// the experiment/sweep subsystem (tables, shard files), which itself
+// runs its simulations through sim.
+var allowedInternal = map[string][]string{
+	"cmd/ciexp":   {"civect/internal/harness", "civect/internal/sweep"},
+	"cmd/cimerge": {"civect/internal/sweep"},
+}
+
+// TestCommandsAndExamplesUseFacade walks every non-test file under
+// cmd/ and examples/ and fails on any civect/internal import outside
+// the explicit allowlist — the enforcement half of the "one supported
+// API" contract.
+func TestCommandsAndExamplesUseFacade(t *testing.T) {
+	const root = ".."
+	for _, dir := range []string{"cmd", "examples"} {
+		entries, err := os.ReadDir(filepath.Join(root, dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			rel := dir + "/" + e.Name()
+			srcs, err := filepath.Glob(filepath.Join(root, rel, "*.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, src := range srcs {
+				if strings.HasSuffix(src, "_test.go") {
+					continue
+				}
+				fset := token.NewFileSet()
+				f, err := parser.ParseFile(fset, src, nil, parser.ImportsOnly)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !strings.HasPrefix(path, "civect/internal/") {
+						continue
+					}
+					ok := false
+					for _, allowed := range allowedInternal[rel] {
+						if path == allowed {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						t.Errorf("%s imports %s; commands and examples must use civect/sim", src, path)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Batch runs sessions under one shared concurrency bound. It is the
+// single worker pool of the stack: the experiment harness's memoized
+// sweeps, ciexp's -workers flag and any embedding driver all bound
+// their simulations through one Batch instead of rolling their own
+// semaphores. Safe for concurrent use.
+type Batch struct {
+	sem     chan struct{}
+	running atomic.Int64
+	peak    atomic.Int64
+}
+
+// NewBatch returns a batch running at most workers sessions at once
+// (workers <= 0 uses GOMAXPROCS; 1 fully serializes).
+func NewBatch(workers int) *Batch {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Batch{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the batch's concurrency bound.
+func (b *Batch) Workers() int { return cap(b.sem) }
+
+// MaxConcurrent returns the highest number of sessions that have run
+// simultaneously on this batch (never above Workers).
+func (b *Batch) MaxConcurrent() int { return int(b.peak.Load()) }
+
+// Run builds and runs one session within the batch's concurrency
+// bound, blocking until a worker slot frees up (or ctx is cancelled
+// while waiting). Semantics match Session.Run: on mid-run cancellation
+// it returns the partial Result together with ctx.Err().
+func (b *Batch) Run(ctx context.Context, w *Workload, opts ...Option) (*Result, error) {
+	select {
+	case b.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-b.sem }()
+	n := b.running.Add(1)
+	defer b.running.Add(-1)
+	for {
+		peak := b.peak.Load()
+		if n <= peak || b.peak.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	s, err := New(w, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx)
+}
+
+// Job names one simulation for Batch.Stream: a registry workload plus
+// the session options to run it under.
+type Job struct {
+	// Workload is the registry name, resolved with Load.
+	Workload string
+	// Options configure the session.
+	Options []Option
+	// Tag is an opaque label echoed on the job's BatchResult.
+	Tag string
+}
+
+// BatchResult pairs a finished Job with its outcome. Exactly one of
+// Result and Err is meaningful — except on mid-run cancellation, where
+// a partial Result accompanies the context error.
+type BatchResult struct {
+	// Job is the input job, Tag included.
+	Job Job
+	// Result is the job's outcome (partial on cancellation).
+	Result *Result
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// Stream launches every job and streams their results over the
+// returned channel in completion order, at most Workers at a time; the
+// channel closes once all jobs have finished. Cancelling ctx stops
+// running sessions at their next cycle boundary (their results arrive
+// partial, with the context error) and fails jobs still waiting for a
+// slot.
+func (b *Batch) Stream(ctx context.Context, jobs []Job) <-chan BatchResult {
+	// Buffered to the job count so a consumer that stops reading early
+	// never strands the producer goroutines.
+	out := make(chan BatchResult, len(jobs))
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j Job) {
+			defer wg.Done()
+			w, err := Load(j.Workload)
+			if err != nil {
+				out <- BatchResult{Job: j, Err: err}
+				return
+			}
+			res, err := b.Run(ctx, w, j.Options...)
+			out <- BatchResult{Job: j, Result: res, Err: err}
+		}(j)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+
+	"civect/internal/core"
+)
+
+// settings accumulates option effects before New validates them as a
+// whole; options that can fail record the first error here so New can
+// return it instead of panicking.
+type settings struct {
+	cfg           Config
+	obs           Observer
+	progressEvery uint64
+	err           error
+}
+
+// Option configures a Session at construction; options apply in the
+// order given, over the Table 1 defaults for the session's mode.
+type Option func(*settings)
+
+// WithMode selects the machine organisation (default CI).
+func WithMode(m Mode) Option {
+	return func(s *settings) { s.cfg.Mode = core.Mode(m) }
+}
+
+// WithPorts sets the number of L1 data cache ports (the paper uses 1
+// or 2).
+func WithPorts(n int) Option {
+	return func(s *settings) { s.cfg.DL1Ports = n }
+}
+
+// WithRegs sets the physical register file size (0 = unbounded) and
+// applies the paper's reorder-buffer sizing rule: 256 window entries,
+// grown to the register count past 256, 1024 for the unbounded file.
+func WithRegs(n int) Option {
+	return func(s *settings) {
+		s.cfg.PhysRegs = n
+		s.cfg.WindowSize = core.WindowFor(n)
+	}
+}
+
+// WithReplicas sets the replicas per vectorized instruction (the paper
+// sweeps 1/2/4/8; default 4).
+func WithReplicas(n int) Option {
+	return func(s *settings) { s.cfg.Replicas = n }
+}
+
+// WithStridedPCs bounds the stridedPC list each rename entry
+// propagates (Figure 4 sweeps 1/2/4; default 2).
+func WithStridedPCs(n int) Option {
+	return func(s *settings) { s.cfg.StridedPCsPerEntry = n }
+}
+
+// WithSpecMem gives replicas a separate speculative data memory of the
+// given number of positions (§2.4.6; 0, the default, keeps them in the
+// register file).
+func WithSpecMem(positions int) Option {
+	return func(s *settings) { s.cfg.SpecMemSize = positions }
+}
+
+// WithSpecMemLatency sets the speculative data memory access latency
+// in cycles (default 2; §3.2 also evaluates 5).
+func WithSpecMemLatency(cycles int) Option {
+	return func(s *settings) { s.cfg.SpecMemLat = cycles }
+}
+
+// WithDAEC enables or disables the Dead Association Elimination
+// Counter register reclamation (§2.4.2; enabled by default — disabling
+// it is the register-pressure ablation).
+func WithDAEC(enabled bool) Option {
+	return func(s *settings) { s.cfg.DisableDAEC = !enabled }
+}
+
+// WithEngine selects the simulation engine (default EngineFastForward;
+// all engines produce bit-identical statistics).
+func WithEngine(e Engine) Option {
+	return func(s *settings) {
+		switch e {
+		case EngineFastForward:
+			s.cfg.NaiveScheduler = false
+			s.cfg.NoFastForward = false
+		case EngineEvent:
+			s.cfg.NaiveScheduler = false
+			s.cfg.NoFastForward = true
+		case EngineNaive:
+			s.cfg.NaiveScheduler = true
+		default:
+			if s.err == nil {
+				s.err = fmt.Errorf("sim: invalid engine %d", int(e))
+			}
+		}
+	}
+}
+
+// WithInstrBudget bounds the run to n committed instructions (0, the
+// default, runs to the program's halt).
+func WithInstrBudget(n uint64) Option {
+	return func(s *settings) { s.cfg.MaxInstr = n }
+}
+
+// WithObserver registers o to receive the session's batched progress
+// taps (commit batches, fast-forward jumps, and progress reports every
+// progressEvery committed instructions; 0 disables progress reports).
+// At most one observer is supported; the last registration wins.
+func WithObserver(o Observer, progressEvery uint64) Option {
+	return func(s *settings) {
+		s.obs = o
+		s.progressEvery = progressEvery
+	}
+}
+
+// WithConfigPatch applies patch to the session's configuration after
+// the preceding options: the escape hatch to every core parameter the
+// named options do not cover. The patched configuration is still
+// validated as a whole by New.
+func WithConfigPatch(patch func(*Config)) Option {
+	return func(s *settings) {
+		if patch != nil {
+			patch(&s.cfg)
+		}
+	}
+}
