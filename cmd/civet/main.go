@@ -1,0 +1,42 @@
+// Civet is the repo's static-analysis gate: a go/analysis vettool
+// composing the custom civet analyzers that mechanically enforce the
+// simulator's determinism, zero-allocation and façade invariants
+// (internal/lint/...). Every analyzer is grounded in a bug class this
+// repo has actually shipped and later fixed.
+//
+// Build and run it through go vet, which drives the unitchecker
+// protocol (package loading, export data, per-package invocation):
+//
+//	go build -o /tmp/civet ./cmd/civet
+//	go vet -vettool=/tmp/civet ./...
+//
+// or, via the go.mod tool directive:
+//
+//	go vet -vettool=$(go tool -n civet) ./...
+//
+// Diagnostics are suppressed per-line with
+// `//civet:allow <analyzer> <reason>`; the reason is mandatory and
+// checked. See internal/lint/directive for the directive grammar and
+// the README's "Static analysis" section for what each analyzer
+// enforces.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"civect/internal/lint/directive"
+	"civect/internal/lint/facadeonly"
+	"civect/internal/lint/hotalloc"
+	"civect/internal/lint/mapdet"
+	"civect/internal/lint/nodeterm"
+)
+
+func main() {
+	unitchecker.Main(
+		directive.Analyzer,
+		facadeonly.Analyzer,
+		hotalloc.Analyzer,
+		mapdet.Analyzer,
+		nodeterm.Analyzer,
+	)
+}

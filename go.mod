@@ -1,3 +1,14 @@
 module civect
 
-go 1.22
+go 1.24
+
+// The civet lint suite (cmd/civet, internal/lint) is built on the
+// go/analysis framework. The dependency is vendored (see vendor/) —
+// the exact subset of packages the unitchecker driver needs, at the
+// same x/tools pin the go1.24 toolchain itself vendors — so the
+// tooling builds reproducibly offline in CI and air-gapped
+// containers. The `tool` directive makes `go tool civet` work
+// without a separate install step.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+tool civect/cmd/civet

@@ -109,8 +109,10 @@ func (p *Proc) captureIW(branchIdx, reconv int, mask ci.RegMask) {
 func (p *Proc) chainSet(reg int, val uint64) {
 	if reg >= len(p.iwChainVal) {
 		n := max(2*len(p.iwChainVal), reg+64)
+		//civet:allow hotalloc amortized chain-scratch doubling; grows O(log n) times, then never again
 		grownV := make([]uint64, n)
 		copy(grownV, p.iwChainVal)
+		//civet:allow hotalloc amortized chain-scratch doubling; grows O(log n) times, then never again
 		grownM := make([]uint64, n)
 		copy(grownM, p.iwChainMark)
 		p.iwChainVal, p.iwChainMark = grownV, grownM

@@ -191,6 +191,7 @@ func (p *Proc) finishCommit(idx int, h *robEntry) {
 // happened.
 func (p *Proc) storeRangeConflict(storeIdx int, addr uint64) bool {
 	conflict := false
+	//civet:allow hotalloc non-escaping iterator callback; ForEachValid does not retain it (TestSteadyStateZeroAllocs pins zero allocs)
 	p.srsmt.ForEachValid(func(ent *ci.Entry) bool {
 		if ent.CoversAddr(addr) {
 			conflict = true
@@ -212,6 +213,7 @@ func (p *Proc) storeRangeConflict(storeIdx int, addr uint64) bool {
 	// it nonetheless reaps (DAEC already at 2, replicas now drained)
 	// must wake their consumer chains and release their replica
 	// storage, like every other teardown path.
+	//civet:allow hotalloc non-escaping recovery callback; OnRecovery does not retain it (TestSteadyStateZeroAllocs pins zero allocs)
 	p.srsmt.OnRecovery(false, func(dead *ci.Entry) {
 		p.wakeConsumers(dead)
 		p.releaseEntryStorage(dead)
@@ -229,6 +231,7 @@ func (p *Proc) replaySquash(idx int) {
 	p.fetchHalted = false
 	p.fetchStallUntil = 0
 	if p.srsmt != nil {
+		//civet:allow hotalloc non-escaping recovery callback; OnRecovery does not retain it (TestSteadyStateZeroAllocs pins zero allocs)
 		p.srsmt.OnRecovery(false, func(dead *ci.Entry) {
 			p.wakeConsumers(dead)
 			p.releaseEntryStorage(dead)

@@ -141,6 +141,7 @@ func (p *Proc) recoverBranch(idx int) {
 	p.fetchStallUntil = 0
 
 	if debugTrace {
+		//civet:allow hotalloc trace formatting only runs when CIVECT_TRACE is set; production runs never reach it
 		fmt.Fprintf(os.Stderr, "[%d] mispredict pc=%d hard=%v maskOK=%v reconv=%d\n", p.cycle, e.pc, hard, maskOK, reconv)
 	}
 	// Episodes are scoped misprediction-to-misprediction: close the
@@ -161,6 +162,7 @@ func (p *Proc) recoverBranch(idx int) {
 	// is squashed, no replica resource deallocated — except entries
 	// whose DAEC reaches 2 (§2.4.2).
 	if p.srsmt != nil {
+		//civet:allow hotalloc non-escaping recovery callback; OnRecovery does not retain it (TestSteadyStateZeroAllocs pins zero allocs)
 		p.srsmt.OnRecovery(!p.cfg.DisableDAEC, func(dead *ci.Entry) {
 			p.wakeConsumers(dead)
 			p.releaseEntryStorage(dead)

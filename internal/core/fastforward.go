@@ -128,6 +128,8 @@ func (p *Proc) ffNextEvent() (uint64, bool) {
 // and the next event is more than one cycle out. Called at the top of
 // step, before the cycle counter advances; afterwards the normal step
 // lands exactly on the event cycle.
+//
+//civet:hotpath
 func (p *Proc) maybeFastForward() {
 	if !p.ffIdle() {
 		return

@@ -58,6 +58,7 @@ func (p *Proc) storeAddrKnown(idx int, e *robEntry) {
 			l = p.wordListFree[n-1]
 			p.wordListFree = p.wordListFree[:n-1]
 		} else {
+			//civet:allow hotalloc word-list pool miss refills the free list; amortizes to zero in steady state
 			l = make([]int32, 0, 4)
 		}
 	}

@@ -551,6 +551,8 @@ func (p *Proc) RunContext(ctx context.Context) (*Stats, error) {
 // has halted). It exposes the cycle loop to microbenchmarks and tools
 // that measure steady-state slices instead of whole runs; Run remains
 // the way to simulate a program to completion.
+//
+//civet:hotpath
 func (p *Proc) Step() {
 	if !p.halted {
 		p.step()
@@ -715,6 +717,7 @@ func (p *Proc) clearFreed() {
 // noteFreed adds a physical register to the freed set.
 func (p *Proc) noteFreed(reg int) {
 	if reg >= len(p.freedMark) {
+		//civet:allow hotalloc amortized freed-set doubling; grows O(log n) times, then never again
 		grown := make([]uint64, max(2*len(p.freedMark), reg+64))
 		copy(grown, p.freedMark)
 		p.freedMark = grown

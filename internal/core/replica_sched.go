@@ -48,6 +48,8 @@ const wheelSpan = 512
 // top-up work) park off the worklist entirely; entries only waiting
 // out execution latency delist onto the completion wheel; everything
 // else mirrors the naive turn.
+//
+//civet:hotpath
 func (p *Proc) replicaTickEvent() {
 	// Wake the entries whose completion cycle has arrived, before the
 	// arbitration walk, so they take their stamp-ordered turn this

@@ -82,6 +82,7 @@ func (p *Proc) parkOrReady(ref waitRef, e *robEntry) {
 // parkOn appends ref to register r's wakeup list.
 func (p *Proc) parkOn(r int, ref waitRef) {
 	if r >= len(p.regWaiters) {
+		//civet:allow hotalloc amortized waiter-table doubling; grows O(log n) times, then never again
 		grown := make([][]waitRef, max(2*len(p.regWaiters), r+64))
 		copy(grown, p.regWaiters)
 		p.regWaiters = grown

@@ -105,6 +105,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 		p.activateEntry(ent)
 		p.Stats.ValNoReplica++
 		if debugTrace {
+			//civet:allow hotalloc trace formatting only runs when CIVECT_TRACE is set; production runs never reach it
 			fmt.Fprintf(os.Stderr, "[%d] noreplica pc=%d decode=%d alloc=%d commit=%d\n", p.cycle, e.pc, ent.Decode-1, ent.Alloc, ent.Commit)
 		}
 		return valNoReplica
@@ -168,6 +169,7 @@ func (p *Proc) maybeVectorizeLoad(pc int, in isa.Instr, addr uint64, creatorSeq 
 	p.initReplicaRing(ent)
 	p.Stats.VectorizedEntries++
 	if debugTrace {
+		//civet:allow hotalloc trace formatting only runs when CIVECT_TRACE is set; production runs never reach it
 		fmt.Fprintf(os.Stderr, "[%d] create-load pc=%d skip=%d\n", p.cycle, pc, skip)
 	}
 	p.enlistNew(ent)
@@ -449,6 +451,7 @@ func (p *Proc) reclaimIdleEntries() {
 	if p.srsmt == nil {
 		return
 	}
+	//civet:allow hotalloc non-escaping iterator callback; ForEachValid does not retain it (TestSteadyStateZeroAllocs pins zero allocs)
 	p.srsmt.ForEachValid(func(ent *ci.Entry) bool {
 		if ent.Deallocatable() {
 			p.invalidateEntry(ent)
@@ -544,6 +547,8 @@ func (p *Proc) resolveReplicaInput(ent *ci.Entry, ref *ci.OperandRef, abs int) (
 // instructions (§2.4.1) — and finally tops up the batches. The body
 // below is the naive reference scan; the default event-driven engine
 // lives in replica_sched.go.
+//
+//civet:hotpath
 func (p *Proc) replicaTick() {
 	if p.srsmt == nil {
 		return

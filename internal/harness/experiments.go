@@ -363,8 +363,12 @@ func expFig14(h *Harness) (*Table, error) {
 // instructions" metric: squashed wrong-path work plus replicas that
 // never validated, over all executed instructions.
 func wrongSpecFraction(res map[string]*core.Stats) float64 {
+	// Sum in sorted-name order: float accumulation in map iteration
+	// order is the HarmonicMeanIPC bug shape (PR 5), found again here
+	// by the mapdet analyzer.
 	var wrong, total float64
-	for _, st := range res {
+	for _, name := range sortedNames(res) {
+		st := res[name]
 		useful := float64(st.CommittedReuse)
 		spec := float64(st.ReplicasDispatched)
 		wasted := spec - useful

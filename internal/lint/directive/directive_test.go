@@ -1,0 +1,16 @@
+package directive_test
+
+import (
+	"testing"
+
+	"civect/internal/lint/directive"
+	"civect/internal/lint/linttest"
+)
+
+// TestDirectiveGrammar pins the validator: dirbad holds every
+// malformed shape (misplaced hotpath, arguments on hotpath, allow
+// without analyzer/reason/known name, unknown verb) and dirok the
+// legal ones.
+func TestDirectiveGrammar(t *testing.T) {
+	linttest.Run(t, "testdata", directive.Analyzer, "dirbad", "dirok")
+}

@@ -1,0 +1,24 @@
+// Package dirbad holds malformed //civet: directives that the
+// civetdir analyzer must flag.
+package dirbad
+
+// hotpath on a non-declaration comment is misplaced.
+func misplaced() {
+	//civet:hotpath // want "must appear in a function declaration's doc comment"
+	_ = 1
+}
+
+//civet:hotpath extra words // want "//civet:hotpath takes no arguments"
+func arguments() {}
+
+func allows() {
+	//civet:allow // want "needs an analyzer name and a reason"
+	_ = 1
+	//civet:allow wholerepo too broad // want "names unknown analyzer wholerepo"
+	_ = 2
+	//civet:allow mapdet // want "is missing its mandatory reason"
+	_ = 3
+}
+
+//civet:frobnicate // want "unknown civet directive"
+func unknownVerb() {}

@@ -1,0 +1,21 @@
+// Package dirok holds well-formed //civet: directives that must not
+// be flagged.
+package dirok
+
+// tick is a hot root.
+//
+//civet:hotpath
+func tick() {
+	grow()
+}
+
+// grow is the pruned slow path.
+//
+//civet:coldpath
+func grow() {
+	//civet:allow hotalloc pool growth happens off the steady state
+	_ = make([]int, 16)
+}
+
+//civet:allow nodeterm startup banner only; not table output
+var banner = "civet"

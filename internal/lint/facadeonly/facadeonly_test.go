@@ -1,0 +1,41 @@
+package facadeonly_test
+
+import (
+	"testing"
+
+	"civect/internal/lint/facadeonly"
+	"civect/internal/lint/linttest"
+)
+
+// TestFacadeonly pins the analyzer on fixture packages shaped like
+// the real tree: badtool reaches past the façade (flagged), ciexp
+// uses exactly its allowlisted imports (clean), and demo shows that
+// examples get no allowlist plus a working //civet:allow.
+func TestFacadeonly(t *testing.T) {
+	linttest.Run(t, "testdata", facadeonly.Analyzer,
+		"civect/cmd/badtool", "civect/cmd/ciexp", "civect/examples/demo")
+}
+
+// TestViolation pins the predicate sim/apiguard_test.go wraps.
+func TestViolation(t *testing.T) {
+	cases := []struct {
+		pkg, imp string
+		want     bool
+	}{
+		{"civect/cmd/cisim", "civect/internal/core", true},
+		{"civect/cmd/cisim", "civect/sim", false},
+		{"civect/cmd/ciexp", "civect/internal/harness", false},
+		{"civect/cmd/ciexp", "civect/internal/sweep", false},
+		{"civect/cmd/ciexp", "civect/internal/core", true},
+		{"civect/cmd/cimerge", "civect/internal/sweep", false},
+		{"civect/cmd/cimerge", "civect/internal/harness", true},
+		{"civect/examples/quickstart", "civect/internal/workload", true},
+		{"civect/internal/harness", "civect/internal/core", false}, // not guarded
+		{"civect/sim", "civect/internal/core", false},              // the façade itself
+	}
+	for _, c := range cases {
+		if got := facadeonly.Violation(c.pkg, c.imp); got != c.want {
+			t.Errorf("Violation(%q, %q) = %v, want %v", c.pkg, c.imp, got, c.want)
+		}
+	}
+}

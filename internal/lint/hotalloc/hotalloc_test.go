@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"civect/internal/lint/hotalloc"
+	"civect/internal/lint/linttest"
+)
+
+// TestHotalloc pins the analyzer: hot exercises every flagged
+// construct plus the hotpath/coldpath closure rules; hotok is an
+// allocation-free hot path (and a documented allow) that must pass.
+func TestHotalloc(t *testing.T) {
+	linttest.Run(t, "testdata", hotalloc.Analyzer, "hot", "hotok")
+}

@@ -1,0 +1,56 @@
+// Package hot exercises the hotalloc analyzer: tick is a hotpath
+// root, helper is in its transitive closure, slowPath is pruned by
+// coldpath, and cool is unreachable from any root, so only the first
+// two are checked.
+package hot
+
+// Core is a stand-in for the simulator processor state.
+type Core struct {
+	buf     []int
+	scratch [8]int
+	sink    any
+	n       int
+}
+
+// tick is the per-cycle entry point.
+//
+//civet:hotpath
+func (c *Core) tick() {
+	m := make(map[int]int) // want "make.map. allocates in hot path"
+	_ = m
+	s := make([]int, 8) // want "allocates in hot path; hoist the buffer"
+	_ = s
+	p := new(Core) // want "new.T. allocates in hot path"
+	_ = p
+	c.helper(c.n)
+	c.slowPath()
+	var local []int
+	local = append(local, c.n) // want "append to function-local slice local"
+	_ = local
+	c.buf = append(c.buf, c.n) // hoisted destination: amortized, legal
+}
+
+// helper is hot because tick calls it.
+func (c *Core) helper(v int) {
+	c.sink = v                       // want "assignment boxes int into any in hot path"
+	f := func() int { return v * 2 } // want "func literal captures enclosing variables"
+	_ = f()
+	ch := make(chan int, 1) // want "make.chan. allocates in hot path"
+	_ = ch
+}
+
+// slowPath allocates freely: it is the error/growth path, excluded
+// from the hot closure.
+//
+//civet:coldpath
+func (c *Core) slowPath() {
+	c.buf = make([]int, 2*len(c.buf)+1)
+}
+
+// cool is not reachable from a hotpath root, so nothing here is
+// flagged.
+func (c *Core) cool() {
+	m := map[string][]byte{"k": []byte("v")}
+	_ = m
+	c.sink = len(m)
+}

@@ -1,0 +1,58 @@
+// Package hotok holds hotalloc fixtures that must pass: a hot path
+// written the way the simulator's real one is (hoisted state, indexed
+// writes, integer arithmetic) plus an explicitly justified allow.
+package hotok
+
+// Ring is pooled, pre-sized state.
+type Ring struct {
+	slots []int
+	head  int
+	stats struct{ ticks uint64 }
+}
+
+// step is allocation-free: indexed writes into hoisted storage.
+//
+//civet:hotpath
+func (r *Ring) step(v int) {
+	r.slots[r.head&(len(r.slots)-1)] = v
+	r.head++
+	r.stats.ticks++
+	r.note(v)
+	r.filter(v)
+	if r.head < 0 {
+		panic(anyify("ring corrupt", r.head)) // panic args never box steady state
+	}
+}
+
+// filter uses the pooled double-buffer idiom: the locals reslice
+// hoisted backing arrays, so appends amortize to zero allocations.
+func (r *Ring) filter(v int) {
+	keep := r.slots[:0]
+	for _, s := range r.slots {
+		if s != v {
+			keep = append(keep, s)
+		}
+	}
+	q := r.slots
+	q = append(q, v)
+	out := q[:0] // reslice of a hoisted local is still hoisted
+	out = append(out, v)
+	u := append(r.slots[:0], out...) // seeding an append from hoisted backing
+	u = append(u, v)
+	r.slots = q[:len(keep)]
+}
+
+// anyify is cold formatting machinery for the panic above.
+//
+//civet:coldpath
+func anyify(msg string, v int) string { return msg }
+
+// note carries a documented suppression: the boxed value feeds a
+// debug hook that is nil in production runs.
+func (r *Ring) note(v int) {
+	var hook func(any)
+	if hook != nil {
+		//civet:allow hotalloc debug hook is nil in production; boxing only happens under the race-test harness
+		hook(v)
+	}
+}

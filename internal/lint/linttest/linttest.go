@@ -1,0 +1,270 @@
+// Package linttest is a self-contained analysistest-style harness for
+// the civet analyzers. It loads fixture packages from a GOPATH-shaped
+// testdata tree (testdata/src/<import/path>/*.go), type-checks them —
+// resolving fixture-to-fixture imports within the tree and everything
+// else from the standard library's source — runs an analyzer together
+// with its Requires dependencies, and compares the diagnostics
+// against `// want "regexp"` comments in the fixtures.
+//
+// It exists because x/tools' analysistest depends on go/packages,
+// which is not part of the toolchain-vendored go/analysis subset this
+// repo vendors; the subset it reimplements (expectation comments,
+// dependency-ordered analyzer execution) is small and precise enough
+// to pin the analyzers' behavior.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package below testdata/src and applies the
+// analyzer, failing t on any mismatch between reported diagnostics
+// and the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags := runAnalyzer(t, l, a, pkg)
+		checkWants(t, l.fset, pkg, diags)
+	}
+}
+
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	fset     *token.FileSet
+	src      string // testdata/src root
+	pkgs     map[string]*fixturePkg
+	fallback types.Importer // std library, from source
+}
+
+func newLoader(src string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:     fset,
+		src:      src,
+		pkgs:     make(map[string]*fixturePkg),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over the fixture tree with a
+// standard-library fallback, so fixtures can import both each other
+// and real packages like sort or time.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := filepath.Join(l.src, filepath.FromSlash(path)); dirExists(dir) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return l.fallback.Import(path)
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := types.Config{Importer: l}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePkg{path: path, files: files, types: tpkg, info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// runAnalyzer applies a (and, recursively, its Requires) to pkg and
+// returns a's diagnostics. Facts are unsupported: the civet analyzers
+// are all package-local.
+func runAnalyzer(t *testing.T, l *loader, a *analysis.Analyzer, pkg *fixturePkg) []analysis.Diagnostic {
+	t.Helper()
+	results := make(map[*analysis.Analyzer]any)
+	var diags []analysis.Diagnostic
+	var apply func(a *analysis.Analyzer) any
+	apply = func(a *analysis.Analyzer) any {
+		if res, ok := results[a]; ok {
+			return res
+		}
+		if len(a.FactTypes) > 0 {
+			t.Fatalf("linttest cannot drive analyzer %s: facts are unsupported", a.Name)
+		}
+		deps := make(map[*analysis.Analyzer]any, len(a.Requires))
+		for _, dep := range a.Requires {
+			deps[dep] = apply(dep)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pkg.files,
+			Pkg:        pkg.types,
+			TypesInfo:  pkg.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   deps,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, pkg.path, err)
+		}
+		results[a] = res
+		return res
+	}
+	root := a
+	var rootDiags []analysis.Diagnostic
+	// Dependencies may Report through their own pass; only the root
+	// analyzer's diagnostics count, so record the boundary.
+	for _, dep := range root.Requires {
+		apply(dep)
+	}
+	diags = nil
+	apply(root)
+	rootDiags = diags
+	return rootDiags
+}
+
+// wantRx extracts the expectation patterns from a `// want ...`
+// comment: a space-separated list of double-quoted Go strings, each a
+// regexp one diagnostic on that line must match.
+var wantRx = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+var quotedRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	raw  string
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []expectation
+	for _, f := range pkg.files {
+		name := fset.File(f.FileStart).Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, q := range quotedRx.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", name, line, q, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", name, line, pat, err)
+					}
+					wants = append(wants, expectation{file: name, line: line, rx: rx, raw: pat})
+				}
+			}
+		}
+	}
+
+	type got struct {
+		file string
+		line int
+		msg  string
+		used bool
+	}
+	var gots []got
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		gots = append(gots, got{file: p.Filename, line: p.Line, msg: d.Message})
+	}
+
+	for _, w := range wants {
+		matched := false
+		for i := range gots {
+			g := &gots[i]
+			if !g.used && g.file == w.file && g.line == w.line && w.rx.MatchString(g.msg) {
+				g.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", relName(w.file), w.line, w.raw)
+		}
+	}
+	for _, g := range gots {
+		if !g.used {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", relName(g.file), g.line, g.msg)
+		}
+	}
+}
+
+func relName(name string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
+		}
+	}
+	return name
+}

@@ -1,0 +1,315 @@
+// Package mapdet implements the civet mapdet analyzer: it flags
+// `range` loops over maps whose bodies feed an order-sensitive sink —
+// floating-point accumulation, string building, formatted output, or
+// a slice append that is never sorted afterwards — because Go's map
+// iteration order is deliberately randomized, so such loops produce
+// different bytes on different runs.
+//
+// This is exactly the shape of the HarmonicMeanIPC bug fixed in PR 5:
+// summing 1/IPC in map iteration order made a zero gain render as
+// +0.0% or -0.0% depending on the process. The accepted fix — append
+// the keys, sort them, then range over the sorted slice — is
+// recognized and not flagged: an append inside a map range is fine
+// when the accumulated slice is passed to a sort call after the loop.
+package mapdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"civect/internal/lint/directive"
+)
+
+// Analyzer is the mapdet analysis.
+var Analyzer = &analysis.Analyzer{
+	Name:     "mapdet",
+	Doc:      "flags order-sensitive accumulation (float sums, string/output building, unsorted appends) inside range-over-map loops, which break byte-reproducible output",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, directive.Loader},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ix := pass.ResultOf[directive.Loader].(*directive.Index)
+
+	// Walk per function declaration so append candidates inside a map
+	// range can be checked against sort calls later in the same
+	// function.
+	nodeFilter := []ast.Node{(*ast.FuncDecl)(nil)}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil {
+			return
+		}
+		checkFunc(pass, ix, fn)
+	})
+	return nil, nil
+}
+
+// appendCandidate records `dst = append(dst, ...)` seen inside a map
+// range; it is a violation unless dst is sorted after the loop ends.
+type appendCandidate struct {
+	obj     types.Object
+	pos     token.Pos
+	loopEnd token.Pos
+}
+
+func checkFunc(pass *analysis.Pass, ix *directive.Index, fn *ast.FuncDecl) {
+	var candidates []appendCandidate
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		candidates = append(candidates, checkMapRangeBody(pass, ix, rs)...)
+		return true
+	})
+
+	if len(candidates) == 0 {
+		return
+	}
+	sorted := sortedObjects(pass, fn)
+	for _, c := range candidates {
+		if sortedAfter(sorted, c.obj, c.loopEnd) {
+			continue
+		}
+		ix.Report(pass, c.pos, "append to %s inside range over map accumulates in map iteration order and is never sorted afterwards; sort before use", c.obj.Name())
+	}
+}
+
+// checkMapRangeBody reports the always-wrong sinks (float/string
+// accumulation, output writes) and returns the append candidates for
+// the post-loop sort check.
+func checkMapRangeBody(pass *analysis.Pass, ix *directive.Index, rs *ast.RangeStmt) []appendCandidate {
+	var candidates []appendCandidate
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested range gets its own visit from checkFunc's walk;
+			// don't double-report its body here.
+			if n != rs {
+				return false
+			}
+		case *ast.AssignStmt:
+			candidates = append(candidates, checkAssign(pass, ix, rs, n)...)
+		case *ast.CallExpr:
+			if name, ok := outputCall(pass, n); ok {
+				ix.Report(pass, n.Pos(), "%s inside range over map writes output in map iteration order; iterate sorted keys instead", name)
+			}
+		}
+		return true
+	})
+	return candidates
+}
+
+func checkAssign(pass *analysis.Pass, ix *directive.Index, rs *ast.RangeStmt, as *ast.AssignStmt) []appendCandidate {
+	var candidates []appendCandidate
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			reportAccum(pass, ix, lhs, as.Pos())
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+				if obj := outerObject(pass, rs, as.Lhs[i]); obj != nil {
+					candidates = append(candidates, appendCandidate{obj: obj, pos: as.Pos(), loopEnd: rs.End()})
+				}
+				continue
+			}
+			// x = x + dy spelled out longhand is the same accumulation
+			// as x += dy.
+			if bin, ok := rhs.(*ast.BinaryExpr); ok && mentionsLHS(pass, bin, as.Lhs[i]) {
+				switch bin.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					reportAccum(pass, ix, as.Lhs[i], as.Pos())
+				}
+			}
+		}
+	}
+	return candidates
+}
+
+// reportAccum flags order-sensitive compound accumulation: float and
+// complex arithmetic is non-associative, and string building bakes
+// the iteration order into the bytes. Integer accumulation is exact
+// and commutative, so it stays legal.
+func reportAccum(pass *analysis.Pass, ix *directive.Index, lhs ast.Expr, pos token.Pos) {
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch {
+	case b.Info()&types.IsFloat != 0, b.Info()&types.IsComplex != 0:
+		ix.Report(pass, pos, "floating-point accumulation inside range over map depends on map iteration order; iterate sorted keys instead")
+	case b.Info()&types.IsString != 0:
+		ix.Report(pass, pos, "string concatenation inside range over map builds output in map iteration order; iterate sorted keys instead")
+	}
+}
+
+// outerObject resolves lhs to a variable declared outside the range
+// statement (accumulating into a loop-local is invisible after the
+// loop, hence harmless).
+func outerObject(pass *analysis.Pass, rs *ast.RangeStmt, lhs ast.Expr) types.Object {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil || obj.Pos() == token.NoPos {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return nil
+	}
+	return obj
+}
+
+func mentionsLHS(pass *analysis.Pass, e ast.Expr, lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if use, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(use) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// outputCall reports whether call writes formatted output somewhere
+// order matters: the fmt print family, io.WriteString, or a Write*
+// method (strings.Builder, bytes.Buffer, io.Writer, tabwriter...).
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if pkg, ok := packageOf(pass, sel); ok {
+		switch pkg {
+		case "fmt":
+			switch name {
+			case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+				return "fmt." + name, true
+			}
+		case "io":
+			if name == "WriteString" {
+				return "io.WriteString", true
+			}
+		}
+		return "", false
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return "(" + types.ExprString(sel.X) + ")." + name, true
+	}
+	return "", false
+}
+
+func packageOf(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// sortCall is one sort invocation found in a function, with the
+// object it sorts (when statically resolvable).
+type sortCall struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// sortedObjects finds every `sort.X(dst...)` / `slices.SortX(dst...)`
+// call in fn and the slice object it sorts.
+func sortedObjects(pass *analysis.Pass, fn *ast.FuncDecl) []sortCall {
+	var calls []sortCall
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := packageOf(pass, sel)
+		if !ok {
+			return true
+		}
+		isSort := false
+		switch pkg {
+		case "sort":
+			switch sel.Sel.Name {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+				isSort = true
+			}
+		case "slices":
+			switch sel.Sel.Name {
+			case "Sort", "SortFunc", "SortStableFunc":
+				isSort = true
+			}
+		}
+		if !isSort {
+			return true
+		}
+		if id, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				calls = append(calls, sortCall{obj: obj, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+func sortedAfter(sorted []sortCall, obj types.Object, after token.Pos) bool {
+	for _, s := range sorted {
+		if s.obj == obj && s.pos >= after {
+			return true
+		}
+	}
+	return false
+}

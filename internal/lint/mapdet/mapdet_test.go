@@ -1,0 +1,16 @@
+package mapdet_test
+
+import (
+	"testing"
+
+	"civect/internal/lint/linttest"
+	"civect/internal/lint/mapdet"
+)
+
+// TestMapdet pins the analyzer on both fixture packages: flagged
+// reproduces the PR 5 HarmonicMeanIPC map-order bug (and friends) and
+// must be diagnosed; fixed is the sorted-keys rewrite and must pass
+// clean.
+func TestMapdet(t *testing.T) {
+	linttest.Run(t, "testdata", mapdet.Analyzer, "flagged", "fixed")
+}

@@ -1,0 +1,68 @@
+// Package fixed holds mapdet fixtures that must pass: the sorted-keys
+// rewrite of the PR 5 HarmonicMeanIPC bug and the other legal shapes.
+package fixed
+
+import "sort"
+
+// Stats is the minimal shape of core.Stats the fixture needs.
+type Stats struct {
+	Instrs int
+	Cycles int
+}
+
+// IPC mirrors core.Stats.IPC.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// harmonicMeanIPC is the accepted PR 5 fix: accumulate over sorted
+// keys so the float sum is order-stable.
+func harmonicMeanIPC(stats map[string]*Stats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var invSum float64
+	for _, name := range sortedNames(stats) {
+		ipc := stats[name].IPC()
+		if ipc <= 0 {
+			return 0
+		}
+		invSum += 1 / ipc
+	}
+	return float64(len(stats)) / invSum
+}
+
+// sortedNames is the fix's helper: the append inside the map range is
+// fine because the slice is sorted before anyone iterates it.
+func sortedNames(m map[string]*Stats) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// countEntries accumulates integers, which is exact and commutative,
+// so map order cannot change the result.
+func countEntries(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localAppend accumulates into a loop-local, invisible after the
+// iteration ends.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		grown := append([]int(nil), vs...)
+		n += len(grown)
+	}
+	return n
+}

@@ -1,0 +1,67 @@
+// Package flagged holds mapdet fixtures that must produce
+// diagnostics. harmonicMeanIPC is a verbatim reproduction of the
+// HarmonicMeanIPC map-iteration-order bug fixed in PR 5.
+package flagged
+
+import "fmt"
+
+// Stats is the minimal shape of core.Stats the bug needs.
+type Stats struct {
+	Instrs int
+	Cycles int
+}
+
+// IPC mirrors core.Stats.IPC.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// harmonicMeanIPC is the PR 5 bug shape: summing 1/IPC in map
+// iteration order makes the low bits of the result — and the rendered
+// sign of a zero gain — differ run to run.
+func harmonicMeanIPC(stats map[string]*Stats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	var invSum float64
+	for _, s := range stats {
+		ipc := s.IPC()
+		if ipc <= 0 {
+			return 0
+		}
+		invSum += 1 / ipc // want "floating-point accumulation inside range over map"
+	}
+	return float64(len(stats)) / invSum
+}
+
+// longhand accumulation is the same bug spelled without +=.
+func meanLatency(lat map[string]float64) float64 {
+	var sum float64
+	for _, v := range lat {
+		sum = sum + v // want "floating-point accumulation inside range over map"
+	}
+	return sum / float64(len(lat))
+}
+
+// renderRows builds output bytes in map iteration order two ways.
+func renderRows(rows map[string]int) string {
+	var out string
+	for name, v := range rows {
+		out += name          // want "string concatenation inside range over map"
+		fmt.Println(name, v) // want "fmt.Println inside range over map writes output"
+	}
+	return out
+}
+
+// collectUnsorted appends into an outer slice and never sorts it, so
+// callers observe map order.
+func collectUnsorted(m map[string]int) []string {
+	var names []string
+	for n := range m {
+		names = append(names, n) // want "append to names inside range over map"
+	}
+	return names
+}

@@ -1,0 +1,47 @@
+// Package ndfix holds nodeterm fixtures that must produce
+// diagnostics; the test points -nodeterm.pkgs at this package so it
+// counts as deterministic territory.
+package ndfix
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Sample shows every banned wall-clock and global-rand call.
+func Sample() (int, time.Duration) {
+	start := time.Now()                // want "time.Now reads the wall clock"
+	n := rand.Intn(10)                 // want "rand.Intn uses the package-global source"
+	rand.Shuffle(n, func(i, j int) {}) // want "rand.Shuffle uses the package-global source"
+	d := time.Since(start)             // want "time.Since reads the wall clock"
+	return n, d
+}
+
+// Race resolves two ready channels by scheduler whim.
+func Race(a, b chan int) int {
+	select { // want "select with 2 communication cases resolves by goroutine scheduling order"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// DumpTables gob-encodes a map, which serializes entries in iteration
+// order.
+func DumpTables(tables map[string]uint64) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(tables); err != nil { // want "gob encodes map entries in iteration order"
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Describe renders a pointer address into supposedly stable output.
+func Describe(v *int) string {
+	return fmt.Sprintf("entry@%p", v) // want "formats a memory address"
+}

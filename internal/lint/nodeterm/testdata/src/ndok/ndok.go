@@ -1,0 +1,44 @@
+// Package ndok holds nodeterm fixtures that must pass: the
+// deterministic idioms for randomness, channels and serialization,
+// plus a documented allow for an intentional wall-clock read.
+package ndok
+
+import (
+	"encoding/json"
+	"math/rand"
+	"time"
+)
+
+// SeededProgram uses the deterministic rand idiom: an explicit
+// source, reproducible for a given seed.
+func SeededProgram(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(1024)
+	}
+	return out
+}
+
+// SingleRecv has one communication case: no scheduling race.
+func SingleRecv(c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	default:
+		return 0
+	}
+}
+
+// MarshalTables uses encoding/json, which sorts map keys, so the
+// bytes are reproducible.
+func MarshalTables(tables map[string]uint64) ([]byte, error) {
+	return json.Marshal(tables)
+}
+
+// Stamp is the one sanctioned wall-clock read: a log header outside
+// any table path, recorded as such.
+func Stamp() time.Time {
+	//civet:allow nodeterm log header timestamp; never feeds table or stats output
+	return time.Now()
+}

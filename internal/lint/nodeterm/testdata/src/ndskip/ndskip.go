@@ -1,0 +1,11 @@
+// Package ndskip is outside the configured deterministic package
+// set, so nothing here is flagged even though it reads the wall
+// clock: nondeterminism is legal in CLI/logging layers.
+package ndskip
+
+import "time"
+
+// Uptime reads the wall clock freely.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}

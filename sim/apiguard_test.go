@@ -8,23 +8,17 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"civect/internal/lint/facadeonly"
 )
 
-// allowedInternal lists the internal packages each command or example
-// may still import. The simulation façade rule: nothing below the CLI
-// layer constructs simulations outside civect/sim, so internal/core
-// and internal/workload never appear here; the two exceptions speak to
-// the experiment/sweep subsystem (tables, shard files), which itself
-// runs its simulations through sim.
-var allowedInternal = map[string][]string{
-	"cmd/ciexp":   {"civect/internal/harness", "civect/internal/sweep"},
-	"cmd/cimerge": {"civect/internal/sweep"},
-}
-
 // TestCommandsAndExamplesUseFacade walks every non-test file under
-// cmd/ and examples/ and fails on any civect/internal import outside
-// the explicit allowlist — the enforcement half of the "one supported
-// API" contract.
+// cmd/ and examples/ and fails on any civect/internal import that the
+// facadeonly analyzer would flag — the enforcement half of the "one
+// supported API" contract. The rule and its allowlist live in
+// internal/lint/facadeonly (the civet analyzer, which also surfaces
+// violations in-editor via `go vet -vettool`); this test wraps the
+// same Violation predicate so CI enforces it with plain `go test`.
 func TestCommandsAndExamplesUseFacade(t *testing.T) {
 	const root = ".."
 	for _, dir := range []string{"cmd", "examples"} {
@@ -36,8 +30,11 @@ func TestCommandsAndExamplesUseFacade(t *testing.T) {
 			if !e.IsDir() {
 				continue
 			}
-			rel := dir + "/" + e.Name()
-			srcs, err := filepath.Glob(filepath.Join(root, rel, "*.go"))
+			pkgPath := "civect/" + dir + "/" + e.Name()
+			if !facadeonly.Guarded(pkgPath) {
+				t.Fatalf("%s not covered by facadeonly.GuardedPrefixes", pkgPath)
+			}
+			srcs, err := filepath.Glob(filepath.Join(root, dir, e.Name(), "*.go"))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -55,18 +52,9 @@ func TestCommandsAndExamplesUseFacade(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if !strings.HasPrefix(path, "civect/internal/") {
-						continue
-					}
-					ok := false
-					for _, allowed := range allowedInternal[rel] {
-						if path == allowed {
-							ok = true
-							break
-						}
-					}
-					if !ok {
-						t.Errorf("%s imports %s; commands and examples must use civect/sim", src, path)
+					if facadeonly.Violation(pkgPath, path) {
+						t.Errorf("%s imports %s; commands and examples must use %s",
+							src, path, facadeonly.Facade)
 					}
 				}
 			}
