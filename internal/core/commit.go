@@ -32,6 +32,9 @@ func (p *Proc) commitStage() {
 		in := h.in
 
 		if in.Op == isa.OpHalt {
+			if p.tracer != nil {
+				p.tracer.OnTraceCommit(p.cycle, h.seq, h.pc, false, true)
+			}
 			p.Stats.Committed++
 			p.halted = true
 			return
@@ -151,6 +154,9 @@ func (p *Proc) finishCommit(idx int, h *robEntry) {
 
 	if h.validated || h.reuseIW {
 		p.Stats.CommittedReuse++
+	}
+	if p.tracer != nil {
+		p.tracer.OnTraceCommit(p.cycle, h.seq, h.pc, h.validated || h.reuseIW, false)
 	}
 	// Every committed instance of a vectorized instruction advances the
 	// entry's commit cursor, releasing the storage of the replica it

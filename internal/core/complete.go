@@ -189,11 +189,13 @@ func (p *Proc) squashAfter(idx int) {
 	}
 
 	i := p.robIndexBefore(p.robTail)
+	squashed := 0
 	for p.robCount > 0 {
 		e := &p.rob[i]
 		if e.seq <= keepSeq {
 			break
 		}
+		squashed++
 		if p.metaAt(int(e.pc)).isStore() {
 			p.storeIndexRemove(i, e)
 		}
@@ -229,6 +231,9 @@ func (p *Proc) squashAfter(idx int) {
 		p.nrbq.SquashYoungerThan(keepSeq)
 	}
 	p.fetchClear()
+	if p.tracer != nil {
+		p.tracer.OnTraceSquash(p.cycle, keepSeq, squashed)
+	}
 	// Entries created by squashed (wrong-path) instructions survive —
 	// "no speculative vectorized instruction is squashed" (§2.4.4).
 	// Stale state they may carry is caught piecemeal: broken recurrence

@@ -209,6 +209,17 @@ type Config struct {
 	// commit assertion checks. Differential tests compare the two.
 	CommitRecomputeAll bool
 
+	// EmulateAliasedWorklist re-introduces the PR 1 SRSMT worklist
+	// aliasing bug for demonstration: a stale worklist listing is
+	// treated as live as long as its way holds any valid incarnation,
+	// so a recycled way inherits its predecessor's listing and takes
+	// double replica-arbitration turns per cycle — unphysical
+	// hardware. The knob exists so the trace tooling (cmd/citrace,
+	// internal/trace) can exhibit divergence localization on a real,
+	// historical engine bug; it is deterministic but must never be
+	// used for reported results.
+	EmulateAliasedWorklist bool
+
 	// MaxInstr bounds committed instructions (0: run to halt).
 	MaxInstr uint64
 	// MaxCycles is a hard safety bound (0: 200M).

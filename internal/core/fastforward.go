@@ -153,6 +153,9 @@ func (p *Proc) maybeFastForward() {
 	if p.obs != nil {
 		p.obs.OnCycleJump(from, p.cycle)
 	}
+	if p.tracer != nil {
+		p.tracer.OnTraceJump(from, p.cycle)
+	}
 }
 
 // FastForward reports the engine's activity: how many skips happened

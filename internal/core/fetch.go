@@ -32,6 +32,11 @@ func (p *Proc) fetchStage() {
 	for n := 0; n < p.cfg.FetchWidth; n++ {
 		in := p.prog.At(p.fetchPC)
 		f := fetchedInstr{pc: p.fetchPC, histSnapshot: p.bp.HistorySnapshot(), readyAt: readyAt}
+		// Every switch arm below buffers f exactly once, so one tap
+		// here covers them all.
+		if p.tracer != nil {
+			p.tracer.OnTraceFetch(p.cycle, int32(f.pc))
+		}
 		switch {
 		case in.IsCondBranch():
 			f.predTaken = p.bp.Predict(uint64(f.pc))

@@ -29,6 +29,9 @@ func (p *Proc) issueStage() {
 		}
 		if issued < p.cfg.IssueWidth && p.tryIssue(w.idx, e) {
 			issued++
+			if p.tracer != nil {
+				p.tracer.OnTraceIssue(p.cycle, e.seq, e.pc)
+			}
 			p.execQ = append(p.execQ, w)
 			if e.doneAt < p.execMinDone {
 				p.execMinDone = e.doneAt

@@ -29,6 +29,52 @@ type Observer interface {
 	OnProgress(cycle, committed uint64)
 }
 
+// Tracer receives the per-event cycle taps the trace journal is built
+// from: one callback per pipeline event (fetch, rename, issue, commit,
+// squash) plus the engine-level fast-forward jump. It extends the
+// Observer seam downward — where Observer batches per cycle, Tracer
+// sees individual events — under the same contract: hooks are strictly
+// read-only notifications carrying values, never references, so a
+// tracer cannot perturb the simulation, and with no tracer registered
+// each emission point pays exactly one nil check and allocates nothing
+// (TestSteadyStateZeroAllocs covers the unregistered path).
+//
+// Event order within a cycle is the pipeline's processing order
+// (reverse stage order: commits and squashes, then issues, renames,
+// fetches), which is deterministic and — jump events aside —
+// identical across all three engines; internal/trace relies on both
+// properties to make journals byte-reproducible.
+type Tracer interface {
+	// OnTraceFetch reports an instruction entering the fetch buffer.
+	OnTraceFetch(cycle uint64, pc int32)
+	// OnTraceRename reports an instruction renamed and dispatched into
+	// the window. seq is its dynamic sequence number; rename order is
+	// program order on the (possibly wrong) fetched path, so seqs are
+	// strictly increasing across rename events.
+	OnTraceRename(cycle, seq uint64, pc int32)
+	// OnTraceIssue reports an instruction issuing to a functional unit.
+	// Issue is out of order: seqs arrive in arbitration order.
+	OnTraceIssue(cycle, seq uint64, pc int32)
+	// OnTraceCommit reports an instruction retiring. reused marks a
+	// validated or squash-reuse commit (the CommittedReuse statistic);
+	// halt marks the final halt-instruction commit.
+	OnTraceCommit(cycle, seq uint64, pc int32, reused, halt bool)
+	// OnTraceSquash reports a recovery: every in-flight instruction
+	// with seq > keepSeq was discarded (n of them), and the fetch
+	// buffer was cleared. Fires for branch-misprediction recoveries,
+	// reuse replays and store coherence squashes alike.
+	OnTraceSquash(cycle, keepSeq uint64, n int)
+	// OnTraceJump reports a stall-cycle fast-forward, exactly like
+	// Observer.OnCycleJump. It is engine-specific — the stepped
+	// engines never jump — so the trace journal records it only at
+	// LevelFull, keeping lower-level journals engine-independent.
+	OnTraceJump(from, to uint64)
+}
+
+// SetTracer registers t (nil detaches) to receive per-event taps from
+// subsequent cycles. At most one tracer is registered at a time.
+func (p *Proc) SetTracer(t Tracer) { p.tracer = t }
+
 // SetObserver registers o (nil detaches) to receive taps from
 // subsequent cycles. progressEvery is the committed-instruction
 // interval between OnProgress callbacks; 0 disables them.

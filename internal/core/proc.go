@@ -380,6 +380,14 @@ type Proc struct {
 	obsReused        uint64
 	obsLastProgress  uint64
 
+	// Registered per-event tracer (observer.go). Nil in production
+	// runs: every emission point is gated on one nil check.
+	tracer Tracer
+
+	// aliasEmu re-introduces the PR 1 SRSMT worklist aliasing bug
+	// (Config.EmulateAliasedWorklist) for trace-divergence demos.
+	aliasEmu bool
+
 	// Per-cycle budgets.
 	aluFree, mulFree int
 	issueBudget      int
@@ -441,6 +449,7 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 	}
 	// Epoch 0 would make the zero-valued freedMark read as all-freed.
 	p.freedEpoch = 1
+	p.aliasEmu = cfg.EmulateAliasedWorklist
 	p.eventSched = !cfg.NaiveScheduler
 	// Fast-forward needs the event scheduler's quiescence guarantees;
 	// the naive reference always steps.

@@ -92,6 +92,9 @@ func (p *Proc) tryRename(f *fetchedInstr) bool {
 	e.hasDest = hasDest
 	e.logDest = dest
 	p.Stats.Fetched++
+	if p.tracer != nil {
+		p.tracer.OnTraceRename(p.cycle, e.seq, e.pc)
+	}
 
 	srcs := im.srcRegs()
 	e.nsrc = uint8(len(srcs))

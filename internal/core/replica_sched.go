@@ -73,9 +73,14 @@ func (p *Proc) replicaTickEvent() {
 			continue // listing retired earlier this tick
 		}
 		if !ref.live() {
-			p.activeEntries[p.tickIdx].ent = nil
-			retired++
-			continue
+			// Config.EmulateAliasedWorklist: keep the stale listing as
+			// long as the way holds any valid incarnation — the PR 1
+			// aliasing bug this knob re-introduces for trace demos.
+			if !p.aliasEmu || !ref.ent.Valid {
+				p.activeEntries[p.tickIdx].ent = nil
+				retired++
+				continue
+			}
 		}
 		ent := ref.ent
 		small := len(ent.Replicas) <= 64

@@ -560,7 +560,12 @@ func (p *Proc) replicaTick() {
 	live := p.activeEntries[:0]
 	for _, ref := range p.activeEntries {
 		if !ref.live() {
-			continue // the incarnation died; drop the listing
+			// Config.EmulateAliasedWorklist: the PR 1 bug kept stale
+			// listings alive as long as the way held any valid
+			// incarnation, granting it double arbitration turns.
+			if !p.aliasEmu || !ref.ent.Valid {
+				continue // the incarnation died; drop the listing
+			}
 		}
 		ent := ref.ent
 		// Steady-state fast paths. An entry with no issued replica to

@@ -1,0 +1,188 @@
+// Package doccheck keeps the repo's documentation honest. Its tests
+// (run as part of the tier-1 suite and CI's docs job) verify that
+// every relative link and intra-document anchor in README.md and
+// docs/*.md resolves, and that every fenced Go snippet in docs/*.md
+// compiles against the module as written — so the docs cannot drift
+// into pointing at files that moved or showing code that no longer
+// builds.
+package doccheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Doc is one markdown file under check.
+type Doc struct {
+	// Path is the file's path relative to the repository root.
+	Path string
+	// Lines is the file content split into lines.
+	Lines []string
+}
+
+// Root returns the repository root relative to this package's
+// directory (where `go test` runs).
+func Root() string { return filepath.Join("..", "..") }
+
+// LoadDocs reads README.md and every docs/*.md file.
+func LoadDocs() ([]Doc, error) {
+	root := Root()
+	paths := []string{"README.md"}
+	entries, err := os.ReadDir(filepath.Join(root, "docs"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".md") {
+			paths = append(paths, filepath.Join("docs", e.Name()))
+		}
+	}
+	var docs []Doc
+	for _, p := range paths {
+		b, err := os.ReadFile(filepath.Join(root, p))
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, Doc{Path: p, Lines: strings.Split(string(b), "\n")})
+	}
+	return docs, nil
+}
+
+// linkRE matches markdown inline links [text](target); images share
+// the syntax and are covered too.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// Link is one markdown link occurrence.
+type Link struct {
+	Doc    string // source document path
+	Line   int    // 1-based line number
+	Target string // raw link target
+}
+
+// Links extracts every inline link target from the document, skipping
+// fenced code blocks (their bracket syntax is code, not markdown).
+func (d Doc) Links() []Link {
+	var links []Link
+	inFence := false
+	for i, line := range d.Lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			links = append(links, Link{Doc: d.Path, Line: i + 1, Target: m[1]})
+		}
+	}
+	return links
+}
+
+// headingRE matches ATX headings.
+var headingRE = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*$`)
+
+// slugStrip removes the characters GitHub's anchor slugger drops.
+var slugStrip = regexp.MustCompile(`[^\p{L}\p{N} _-]`)
+
+// Slug reduces a heading to its GitHub anchor slug: lowercase,
+// punctuation stripped, spaces to hyphens.
+func Slug(heading string) string {
+	// Inline code and links keep their visible text.
+	h := strings.NewReplacer("`", "", "[", "", "]", "").Replace(heading)
+	if i := strings.Index(h, "]("); i >= 0 { // defensive; links already stripped
+		h = h[:i]
+	}
+	h = strings.ToLower(h)
+	h = slugStrip.ReplaceAllString(h, "")
+	h = strings.ReplaceAll(h, " ", "-")
+	return h
+}
+
+// Anchors returns the set of anchor slugs the document defines.
+func (d Doc) Anchors() map[string]bool {
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range d.Lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		if m := headingRE.FindStringSubmatch(line); m != nil {
+			slug := Slug(m[1])
+			// GitHub de-duplicates repeated headings with -1, -2, …;
+			// the checker accepts only the first occurrence, which is
+			// all the repo's docs use.
+			if !anchors[slug] {
+				anchors[slug] = true
+			}
+		}
+	}
+	return anchors
+}
+
+// Snippet is one fenced code block.
+type Snippet struct {
+	Doc  string // source document path
+	Line int    // 1-based line of the opening fence
+	Info string // the fence info string ("go", "sh", "text", ...)
+	Code string
+}
+
+// Snippets returns every fenced code block in the document.
+func (d Doc) Snippets() []Snippet {
+	var snips []Snippet
+	var cur *Snippet
+	var body []string
+	for i, line := range d.Lines {
+		t := strings.TrimSpace(line)
+		if cur == nil {
+			if rest, ok := strings.CutPrefix(t, "```"); ok {
+				cur = &Snippet{Doc: d.Path, Line: i + 1, Info: strings.TrimSpace(rest)}
+				body = body[:0]
+			}
+			continue
+		}
+		if t == "```" {
+			cur.Code = strings.Join(body, "\n") + "\n"
+			snips = append(snips, *cur)
+			cur = nil
+			continue
+		}
+		body = append(body, line)
+	}
+	return snips
+}
+
+// GoSnippets filters to the fences the compile check owns: info string
+// "go" compiles as a standalone file; "go ignore" is explicitly
+// exempted (and anything else — sh, text — is not Go).
+func GoSnippets(docs []Doc) ([]Snippet, error) {
+	var out []Snippet
+	for _, d := range docs {
+		if !strings.HasPrefix(d.Path, "docs"+string(filepath.Separator)) &&
+			!strings.HasPrefix(d.Path, "docs/") {
+			continue // README snippets are illustrative fragments, not compiled
+		}
+		for _, s := range d.Snippets() {
+			fields := strings.Fields(s.Info)
+			if len(fields) == 0 || fields[0] != "go" {
+				continue
+			}
+			if len(fields) > 1 && fields[1] == "ignore" {
+				continue
+			}
+			if !strings.Contains(s.Code, "package ") {
+				return nil, fmt.Errorf("%s:%d: go fence has no package clause; make it a complete file or mark it ```go ignore", s.Doc, s.Line)
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package doccheck
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLinks verifies every relative link and anchor in README.md and
+// docs/*.md resolves: linked files exist, and linked #anchors name a
+// heading of the target document.
+func TestLinks(t *testing.T) {
+	docs, err := LoadDocs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchorsOf := map[string]map[string]bool{}
+	for _, d := range docs {
+		anchorsOf[filepath.ToSlash(d.Path)] = d.Anchors()
+	}
+	root := Root()
+	for _, d := range docs {
+		for _, l := range d.Links() {
+			target := l.Target
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; not checked offline
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			resolved := filepath.ToSlash(d.Path)
+			if path != "" {
+				rel := filepath.Join(filepath.Dir(d.Path), path)
+				if _, err := os.Stat(filepath.Join(root, rel)); err != nil {
+					t.Errorf("%s:%d: broken link %q: %v", l.Doc, l.Line, target, err)
+					continue
+				}
+				resolved = filepath.ToSlash(rel)
+			}
+			if anchor != "" {
+				as, ok := anchorsOf[resolved]
+				if !ok {
+					// Anchor into a file outside the doc set (e.g. a
+					// source file): existence was checked above.
+					continue
+				}
+				if !as[anchor] {
+					t.Errorf("%s:%d: link %q: no heading with anchor #%s in %s",
+						l.Doc, l.Line, target, anchor, resolved)
+				}
+			}
+		}
+	}
+}
+
+// TestGoSnippetsCompile compiles every ```go fence in docs/*.md as a
+// standalone file against this module, so documented code cannot rot.
+func TestGoSnippetsCompile(t *testing.T) {
+	docs, err := LoadDocs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snips, err := GoSnippets(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snips) == 0 {
+		t.Fatal("no Go snippets found in docs/ — the check is wired to nothing")
+	}
+	root, err := filepath.Abs(Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scratch directory must live inside the module tree so the
+	// snippets may import civect/internal/... (Go's internal-package
+	// rule resolves by file location). The underscore prefix makes the
+	// go tool skip it during package walks (`go build ./...`).
+	dir, err := os.MkdirTemp(root, "_docsnip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	for i, s := range snips {
+		src := filepath.Join(dir, fmt.Sprintf("snip%d.go", i))
+		if err := os.WriteFile(src, []byte(s.Code), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "build", "-o", os.DevNull, src)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("%s:%d: snippet does not compile:\n%s", s.Doc, s.Line, out)
+		}
+	}
+}
+
+// TestSlug pins the anchor slugger against GitHub's behavior for the
+// heading shapes the docs use.
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Architecture":   "architecture",
+		"Build and test": "build-and-test",
+		"The cycle-trace journal format (`civt`, version 1)": "the-cycle-trace-journal-format-civt-version-1",
+		"Timing engines — `internal/core`":                   "timing-engines--internalcore",
+		"Step 1: record a good and a suspect journal":        "step-1-record-a-good-and-a-suspect-journal",
+	}
+	for in, want := range cases {
+		if got := Slug(in); got != want {
+			t.Errorf("Slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

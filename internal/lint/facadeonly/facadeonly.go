@@ -38,6 +38,10 @@ var GuardedPrefixes = []string{"civect/cmd/", "civect/examples/"}
 var Allowlist = map[string][]string{
 	"civect/cmd/ciexp":   {"civect/internal/harness", "civect/internal/sweep"},
 	"civect/cmd/cimerge": {"civect/internal/sweep"},
+	// citrace records through sim like every other command; the
+	// exception covers the journal reader/replay/diff side, which is
+	// offline tooling with no simulation to construct.
+	"civect/cmd/citrace": {"civect/internal/trace"},
 	// civet is the lint suite's own driver, not a simulation command:
 	// its imports are the analyzers, and it never constructs a
 	// simulation at all.

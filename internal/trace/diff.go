@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// DiffOptions tunes Diff.
+type DiffOptions struct {
+	// EngineEvents includes engine-specific records (fast-forward
+	// jumps, LevelFull journals only) in the comparison. Off by
+	// default: two engines of the same configuration agree on every
+	// pipeline event but not on jumps, so comparing jumps only makes
+	// sense between runs of the same engine.
+	EngineEvents bool
+}
+
+// Divergence localizes the first difference between two journals.
+type Divergence struct {
+	// Cycle is the first divergent cycle.
+	Cycle uint64
+	// Index is the position of the first differing event within that
+	// cycle's event group, or -1 when one journal has no events at all
+	// for the cycle (including one journal ending early).
+	Index int
+	// Reason is a one-line human-readable explanation.
+	Reason string
+	// A and B hold the divergent cycle's full event groups on each
+	// side (nil for the side with no events at that cycle).
+	A, B []Event
+}
+
+// DiffResult reports a comparison: the first divergence (nil when the
+// journals describe identical event streams) and how much of each
+// journal was consumed reaching it.
+type DiffResult struct {
+	// Divergence is nil when the two journals are event-identical.
+	Divergence *Divergence
+	// EventsA and EventsB count the events compared on each side, up
+	// to and including the divergent cycle.
+	EventsA, EventsB uint64
+	// Cycles counts the event-bearing cycles that compared equal.
+	Cycles uint64
+}
+
+// Identical reports whether no divergence was found.
+func (r *DiffResult) Identical() bool { return r.Divergence == nil }
+
+// Diff streams two journals in lockstep, comparing them cycle group by
+// cycle group, and localizes the first divergent cycle and the first
+// divergent event within it. Comparison is at the event level, so it
+// also works across journals whose byte encodings differ (e.g. one
+// windowed, one not — or, with EngineEvents left off, a LevelFull
+// journal against itself from another engine).
+//
+// Diff refuses journals recorded at different levels or of different
+// workloads/modes: those differ by construction, and reporting their
+// first "divergence" would be noise.
+func Diff(a, b *Reader, opts DiffOptions) (*DiffResult, error) {
+	if a.Level() != b.Level() {
+		return nil, fmt.Errorf("trace: cannot diff levels %s and %s", a.Level(), b.Level())
+	}
+	if a.Meta() != b.Meta() {
+		return nil, fmt.Errorf("trace: cannot diff different runs: %+v vs %+v", a.Meta(), b.Meta())
+	}
+	res := &DiffResult{}
+	sa := &groupStream{r: a, engineEvents: opts.EngineEvents, events: &res.EventsA}
+	sb := &groupStream{r: b, engineEvents: opts.EngineEvents, events: &res.EventsB}
+	for {
+		ga, err := sa.next()
+		if err != nil {
+			return res, fmt.Errorf("journal A: %w", err)
+		}
+		gb, err := sb.next()
+		if err != nil {
+			return res, fmt.Errorf("journal B: %w", err)
+		}
+		switch {
+		case ga == nil && gb == nil:
+			return res, nil
+		case ga == nil:
+			res.Divergence = &Divergence{
+				Cycle: gb.cycle, Index: -1, B: gb.events,
+				Reason: fmt.Sprintf("journal A ends before cycle %d, where B has %d more events", gb.cycle, len(gb.events)),
+			}
+			return res, nil
+		case gb == nil:
+			res.Divergence = &Divergence{
+				Cycle: ga.cycle, Index: -1, A: ga.events,
+				Reason: fmt.Sprintf("journal B ends before cycle %d, where A has %d more events", ga.cycle, len(ga.events)),
+			}
+			return res, nil
+		case ga.cycle < gb.cycle:
+			res.Divergence = &Divergence{
+				Cycle: ga.cycle, Index: -1, A: ga.events,
+				Reason: fmt.Sprintf("only A has events at cycle %d (%d of them); B's next event cycle is %d", ga.cycle, len(ga.events), gb.cycle),
+			}
+			return res, nil
+		case gb.cycle < ga.cycle:
+			res.Divergence = &Divergence{
+				Cycle: gb.cycle, Index: -1, B: gb.events,
+				Reason: fmt.Sprintf("only B has events at cycle %d (%d of them); A's next event cycle is %d", gb.cycle, len(gb.events), ga.cycle),
+			}
+			return res, nil
+		}
+		if d := diffGroups(ga, gb); d != nil {
+			res.Divergence = d
+			return res, nil
+		}
+		res.Cycles++
+	}
+}
+
+// diffGroups compares one cycle's event groups, returning the
+// divergence or nil when equal.
+func diffGroups(ga, gb *cycleGroup) *Divergence {
+	n := min(len(ga.events), len(gb.events))
+	for i := range n {
+		if ga.events[i] != gb.events[i] {
+			return &Divergence{
+				Cycle: ga.cycle, Index: i, A: ga.events, B: gb.events,
+				Reason: fmt.Sprintf("cycle %d event %d differs: A has [%s], B has [%s]",
+					ga.cycle, i, ga.events[i], gb.events[i]),
+			}
+		}
+	}
+	if len(ga.events) != len(gb.events) {
+		return &Divergence{
+			Cycle: ga.cycle, Index: n, A: ga.events, B: gb.events,
+			Reason: fmt.Sprintf("cycle %d: A has %d events, B has %d; they agree up to event %d",
+				ga.cycle, len(ga.events), len(gb.events), n),
+		}
+	}
+	return nil
+}
+
+type cycleGroup struct {
+	cycle  uint64
+	events []Event
+}
+
+// groupStream batches a Reader's events into per-cycle groups. Events
+// arrive in non-decreasing cycle order, so one pending event of
+// lookahead suffices.
+type groupStream struct {
+	r            *Reader
+	engineEvents bool
+	events       *uint64
+	pending      *Event
+	done         bool
+}
+
+// next returns the next cycle group, or nil at a clean end of journal.
+func (s *groupStream) next() (*cycleGroup, error) {
+	for {
+		g, err := s.nextRaw()
+		if g == nil || err != nil {
+			return g, err
+		}
+		if !s.engineEvents {
+			kept := g.events[:0]
+			for _, e := range g.events {
+				if e.Kind != KindJump {
+					kept = append(kept, e)
+				}
+			}
+			g.events = kept
+			if len(g.events) == 0 {
+				continue // the group was only jumps; skip it entirely
+			}
+		}
+		return g, nil
+	}
+}
+
+func (s *groupStream) nextRaw() (*cycleGroup, error) {
+	if s.done {
+		return nil, nil
+	}
+	g := &cycleGroup{}
+	if s.pending != nil {
+		g.cycle = s.pending.Cycle
+		g.events = append(g.events, *s.pending)
+		s.pending = nil
+	}
+	for {
+		e, err := s.r.Next()
+		if err == io.EOF {
+			s.done = true
+			if len(g.events) == 0 {
+				return nil, nil
+			}
+			return g, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		*s.events = *s.events + 1
+		if len(g.events) == 0 {
+			g.cycle = e.Cycle
+		} else if e.Cycle != g.cycle {
+			s.pending = &e
+			return g, nil
+		}
+		g.events = append(g.events, e)
+	}
+}

@@ -1,0 +1,76 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"civect/internal/core"
+	"civect/internal/trace"
+	"civect/internal/workload"
+)
+
+// TestDiffLocalizesAliasBug is the divergence-hunt acceptance test:
+// re-introducing the PR 1 SRSMT worklist aliasing bug (behind
+// Config.EmulateAliasedWorklist) must produce a journal that Diff
+// localizes to the exact same first divergent cycle on repeated runs —
+// and, since the bug predates the event-driven scheduler rewrite, on
+// both scheduler engines. docs/DEBUGGING.md walks through the same
+// hunt with cmd/citrace.
+func TestDiffLocalizesAliasBug(t *testing.T) {
+	wl, err := workload.Spec("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := core.DefaultConfig(core.ModeCI)
+	base.MaxInstr = 15_000
+
+	recordWith := func(alias, naive bool) []byte {
+		cfg := base
+		cfg.EmulateAliasedWorklist = alias
+		cfg.NaiveScheduler = naive
+		j, _ := record(t, wl, cfg, trace.LevelPipeline)
+		return j
+	}
+	diff := func(a, b []byte) *trace.DiffResult {
+		ra, err := trace.NewReader(bytes.NewReader(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := trace.NewReader(bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := trace.Diff(ra, rb, trace.DiffOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	good := recordWith(false, false)
+	bug := recordWith(true, false)
+	res := diff(good, bug)
+	if res.Identical() {
+		t.Fatal("alias-bug emulation produced an identical journal; the knob is dead")
+	}
+	first := res.Divergence
+	if first.Cycle == 0 || first.Index < 0 {
+		t.Fatalf("unexpected divergence shape: %+v", first)
+	}
+
+	// Repeated runs must localize the identical first divergence.
+	for i := 0; i < 2; i++ {
+		again := diff(recordWith(false, false), recordWith(true, false))
+		if again.Identical() || again.Divergence.Cycle != first.Cycle || again.Divergence.Index != first.Index {
+			t.Fatalf("run %d: divergence moved: first %+v, now %+v", i, first, again.Divergence)
+		}
+	}
+
+	// The bug lives in the shared worklist walk, so the naive engine
+	// must exhibit the same first divergent cycle.
+	naive := diff(recordWith(false, true), recordWith(true, true))
+	if naive.Identical() || naive.Divergence.Cycle != first.Cycle {
+		t.Fatalf("naive engine localizes the bug differently: event %+v, naive %+v",
+			first, naive.Divergence)
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace implements the deterministic cycle-event journal: a
+// compact, versioned binary format recording the per-cycle pipeline
+// events a simulation emits through the core.Tracer seam, plus the
+// offline tooling built on it — a reader, a replayer that reconstructs
+// per-cycle pipeline state, and a differ that localizes the first
+// divergent cycle between two journals.
+//
+// The on-disk format is specified normatively in docs/TRACE_FORMAT.md;
+// the constants and encoding helpers here are its implementation. The
+// format is deterministic by construction: identical event streams
+// encode to identical bytes, so journals of the same configuration are
+// byte-comparable across runs, processes and engines (at levels below
+// LevelFull, which admits engine-specific jump records).
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"civect/internal/core"
+)
+
+// Magic opens every journal file.
+var Magic = [4]byte{'C', 'I', 'V', 'T'}
+
+// Version is the current journal format version. Readers reject
+// versions they do not know; the version only changes on incompatible
+// layout changes (see the compatibility rules in docs/TRACE_FORMAT.md).
+const Version = 1
+
+// Level selects how much a journal records. Each level is a strict
+// superset of the one below it.
+type Level uint8
+
+const (
+	// LevelCommits records only commit events (and the cycle framing
+	// they need): the cheapest journal that still replays committed-
+	// instruction statistics exactly.
+	LevelCommits Level = 1
+	// LevelPipeline adds fetch, rename, issue and squash events — the
+	// full conventional-pipeline event stream, and the default. It is
+	// engine-independent: all three engines produce byte-identical
+	// LevelPipeline journals for the same configuration.
+	LevelPipeline Level = 2
+	// LevelFull adds engine-level events (fast-forward cycle jumps).
+	// Full journals are only byte-comparable between runs of the same
+	// engine; Diff ignores engine events unless asked.
+	LevelFull Level = 3
+)
+
+// String names the level (commits, pipeline, full).
+func (l Level) String() string {
+	switch l {
+	case LevelCommits:
+		return "commits"
+	case LevelPipeline:
+		return "pipeline"
+	case LevelFull:
+		return "full"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// ParseLevel inverts Level.String.
+func ParseLevel(s string) (Level, error) {
+	for _, l := range []Level{LevelCommits, LevelPipeline, LevelFull} {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown level %q (want commits, pipeline or full)", s)
+}
+
+// Kind identifies one journal record / event type. The wire encoding
+// uses these values directly as the record tag byte.
+type Kind uint8
+
+const (
+	// KindCycle is the framing record advancing the current cycle; it
+	// is consumed by the reader and never surfaced as an Event.
+	KindCycle Kind = 1
+	// KindFetch: an instruction entered the fetch buffer.
+	KindFetch Kind = 2
+	// KindRename: an instruction was renamed and dispatched.
+	KindRename Kind = 3
+	// KindIssue: an instruction issued to a functional unit.
+	KindIssue Kind = 4
+	// KindCommit: an instruction retired.
+	KindCommit Kind = 5
+	// KindSquash: a recovery discarded every instruction younger than
+	// Seq (the kept sequence number).
+	KindSquash Kind = 6
+	// KindJump: the fast-forward engine skipped a stall region
+	// (LevelFull journals only).
+	KindJump Kind = 7
+)
+
+// String names the kind as the dump output renders it.
+func (k Kind) String() string {
+	switch k {
+	case KindCycle:
+		return "cycle"
+	case KindFetch:
+		return "fetch"
+	case KindRename:
+		return "rename"
+	case KindIssue:
+		return "issue"
+	case KindCommit:
+		return "commit"
+	case KindSquash:
+		return "squash"
+	case KindJump:
+		return "jump"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// minLevel returns the lowest Level that records k.
+func (k Kind) minLevel() Level {
+	switch k {
+	case KindCommit:
+		return LevelCommits
+	case KindJump:
+		return LevelFull
+	default:
+		return LevelPipeline
+	}
+}
+
+// Event is one decoded journal event. Field meaning depends on Kind:
+//
+//   - KindFetch: Cycle, PC
+//   - KindRename, KindIssue: Cycle, Seq, PC
+//   - KindCommit: Cycle, Seq, PC, Reused, Halt
+//   - KindSquash: Cycle, Seq (the kept seq), N (instructions discarded)
+//   - KindJump: Cycle (the jump origin), N (the landing cycle)
+type Event struct {
+	Cycle  uint64
+	Seq    uint64
+	N      uint64
+	PC     int32
+	Kind   Kind
+	Reused bool
+	Halt   bool
+}
+
+// String renders the event as one dump line (without the cycle).
+func (e Event) String() string {
+	switch e.Kind {
+	case KindFetch:
+		return fmt.Sprintf("fetch  pc=%d", e.PC)
+	case KindRename:
+		return fmt.Sprintf("rename seq=%d pc=%d", e.Seq, e.PC)
+	case KindIssue:
+		return fmt.Sprintf("issue  seq=%d pc=%d", e.Seq, e.PC)
+	case KindCommit:
+		s := fmt.Sprintf("commit seq=%d pc=%d", e.Seq, e.PC)
+		if e.Reused {
+			s += " reused"
+		}
+		if e.Halt {
+			s += " halt"
+		}
+		return s
+	case KindSquash:
+		return fmt.Sprintf("squash keep=%d n=%d", e.Seq, e.N)
+	case KindJump:
+		return fmt.Sprintf("jump   to=%d (skipped %d)", e.N, e.N-e.Cycle)
+	}
+	return fmt.Sprintf("%v seq=%d pc=%d n=%d", e.Kind, e.Seq, e.PC, e.N)
+}
+
+// Meta is the journal's identifying header information: what was
+// simulated, not how (the engine is deliberately excluded so that
+// journals from different engines stay byte-identical).
+type Meta struct {
+	// Workload is the workload name ("gcc", "mcf.big", ...; empty for
+	// anonymous custom workloads).
+	Workload string
+	// Mode is the simulated machine mode.
+	Mode core.Mode
+}
+
+// Journal errors. Reader and replay errors wrap one of these
+// sentinels, so callers can distinguish a damaged file (ErrCorrupt), a
+// file cut short mid-write (ErrTruncated), and an event stream that
+// violates pipeline discipline (ErrMalformed — a writer bug, or a
+// corrupt journal whose damage slipped past the CRCs).
+var (
+	ErrCorrupt   = errors.New("trace: corrupt journal")
+	ErrTruncated = errors.New("trace: truncated journal")
+	ErrMalformed = errors.New("trace: malformed event stream")
+)
+
+const (
+	// headerFlagWindowed marks a journal recorded under a cycle window
+	// (Recorder.SetWindow): event cycles may start late and sequence
+	// numbers may enter mid-stream, so replay relaxes its pipeline-
+	// discipline checks.
+	headerFlagWindowed = 1 << 0
+
+	// blockTarget is the payload size a Recorder flushes a block at.
+	// Blocks close only on cycle boundaries, so one cycle's events
+	// never span blocks.
+	blockTarget = 32 << 10
+)

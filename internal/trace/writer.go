@@ -1,0 +1,308 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"civect/internal/core"
+)
+
+// Recorder encodes the core.Tracer event stream into a journal. It is
+// registered on a processor with core.Proc.SetTracer (or, through the
+// façade, sim.WithTrace) and writes the format of docs/TRACE_FORMAT.md:
+// a header, delta-varint record blocks with per-block CRCs, and a
+// trailer sealing the event count.
+//
+// A Recorder buffers about one block (32 KiB) of encoded records; the
+// journal is not complete until Close writes the trailer. Encoding is
+// deterministic: the same event stream always produces the same bytes,
+// with no timestamps, hostnames or other environmental residue.
+//
+// Write errors are sticky: the first one stops all further output and
+// is reported by Err and Close.
+type Recorder struct {
+	w     io.Writer
+	level Level
+	meta  Meta
+
+	first, last uint64 // cycle window; active when windowed
+	windowed    bool
+
+	buf        []byte
+	headerDone bool
+	closed     bool
+	err        error
+
+	// Encoder state mirrored by Reader: the cycle of the last framing
+	// record and the previous sequence number per delta chain.
+	curCycle      uint64
+	prevRenameSeq uint64
+	prevIssueSeq  uint64
+	prevCommitSeq uint64
+
+	// Trailer accounting.
+	events    uint64
+	lastCycle uint64
+}
+
+var _ core.Tracer = (*Recorder)(nil)
+
+// NewRecorder returns a Recorder journaling at the given level into w.
+// The header is written lazily (on the first event, or at Close for an
+// empty journal) so that SetWindow can still be called.
+func NewRecorder(w io.Writer, level Level, meta Meta) *Recorder {
+	r := &Recorder{w: w, level: level, meta: meta, buf: make([]byte, 0, blockTarget+4096)}
+	if level < LevelCommits || level > LevelFull {
+		r.err = fmt.Errorf("trace: invalid level %d", uint8(level))
+	}
+	return r
+}
+
+// SetWindow restricts recording to events whose cycle lies in
+// [first, last]; last == 0 leaves the window open-ended. The journal is
+// marked windowed, which relaxes replay's pipeline-discipline checks
+// (sequence numbers enter mid-stream). SetWindow must be called before
+// the first event is recorded.
+func (r *Recorder) SetWindow(first, last uint64) {
+	if r.err == nil && (r.headerDone || r.closed) {
+		r.err = fmt.Errorf("trace: SetWindow after recording started")
+		return
+	}
+	if r.err == nil && last != 0 && last < first {
+		r.err = fmt.Errorf("trace: invalid window [%d, %d]", first, last)
+		return
+	}
+	r.first, r.last, r.windowed = first, last, true
+}
+
+// Err returns the first error the Recorder hit (nil so far if none).
+func (r *Recorder) Err() error { return r.err }
+
+// Flush writes any buffered records to the underlying writer. Blocks
+// normally close on cycle boundaries; an explicit Flush may close one
+// mid-cycle, which readers handle (the record stream is continuous
+// across blocks). Close flushes, so Flush is only needed for mid-run
+// durability.
+func (r *Recorder) Flush() error {
+	r.flush()
+	return r.err
+}
+
+// Close flushes buffered records and writes the trailer, sealing the
+// journal. Close is idempotent; it returns the Recorder's first error,
+// if any. It does not close the underlying writer.
+func (r *Recorder) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	if r.err != nil {
+		return r.err
+	}
+	if !r.headerDone {
+		r.writeHeader()
+	}
+	r.flush()
+	if r.err != nil {
+		return r.err
+	}
+	tb := make([]byte, 0, 1+2*binary.MaxVarintLen64)
+	tb = binary.AppendUvarint(tb, 0)
+	tb = binary.AppendUvarint(tb, r.events)
+	tb = binary.AppendUvarint(tb, r.lastCycle)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(tb))
+	if _, err := r.w.Write(append(tb, crc[:]...)); err != nil {
+		r.err = err
+	}
+	return r.err
+}
+
+func (r *Recorder) writeHeader() {
+	r.headerDone = true
+	hb := make([]byte, 0, 8+len(r.meta.Workload))
+	hb = append(hb, Version, byte(r.level), byte(r.meta.Mode), r.headerFlags())
+	hb = binary.AppendUvarint(hb, uint64(len(r.meta.Workload)))
+	hb = append(hb, r.meta.Workload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(hb))
+	out := make([]byte, 0, 4+len(hb)+4)
+	out = append(out, Magic[:]...)
+	out = append(out, hb...)
+	out = append(out, crc[:]...)
+	if _, err := r.w.Write(out); err != nil {
+		r.err = err
+	}
+}
+
+func (r *Recorder) headerFlags() byte {
+	var f byte
+	if r.windowed {
+		f |= headerFlagWindowed
+	}
+	return f
+}
+
+func (r *Recorder) flush() {
+	if r.err != nil || len(r.buf) == 0 {
+		return
+	}
+	if !r.headerDone {
+		r.writeHeader()
+		if r.err != nil {
+			return
+		}
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(r.buf)))
+	if _, err := r.w.Write(hdr[:n]); err != nil {
+		r.err = err
+		return
+	}
+	if _, err := r.w.Write(r.buf); err != nil {
+		r.err = err
+		return
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(r.buf))
+	if _, err := r.w.Write(crc[:]); err != nil {
+		r.err = err
+		return
+	}
+	r.buf = r.buf[:0]
+}
+
+// inWindow reports whether an event at cycle c is recorded.
+func (r *Recorder) inWindow(c uint64) bool {
+	return !r.windowed || c >= r.first && (r.last == 0 || c <= r.last)
+}
+
+// begin prepares the buffer for an event at the given cycle: it writes
+// the header if needed, closes the block at cycle boundaries once it is
+// full, and emits the cycle framing record. It reports whether the
+// caller may append its record.
+func (r *Recorder) begin(cycle uint64) bool {
+	if r.err != nil || r.closed {
+		return false
+	}
+	if !r.headerDone {
+		r.writeHeader()
+		if r.err != nil {
+			return false
+		}
+	}
+	if cycle != r.curCycle {
+		if len(r.buf) >= blockTarget {
+			r.flush()
+			if r.err != nil {
+				return false
+			}
+		}
+		r.buf = append(r.buf, byte(KindCycle))
+		r.buf = binary.AppendUvarint(r.buf, cycle-r.curCycle)
+		r.curCycle = cycle
+	}
+	return true
+}
+
+// note updates the trailer accounting after a record was appended.
+func (r *Recorder) note(cycle uint64) {
+	r.events++
+	if cycle > r.lastCycle {
+		r.lastCycle = cycle
+	}
+}
+
+// OnTraceFetch implements core.Tracer (LevelPipeline and up).
+func (r *Recorder) OnTraceFetch(cycle uint64, pc int32) {
+	if r.level < LevelPipeline || !r.inWindow(cycle) || !r.begin(cycle) {
+		return
+	}
+	r.buf = append(r.buf, byte(KindFetch))
+	r.buf = binary.AppendUvarint(r.buf, uint64(uint32(pc)))
+	r.note(cycle)
+}
+
+// OnTraceRename implements core.Tracer (LevelPipeline and up). Rename
+// sequence numbers are strictly increasing, so the record stores the
+// (small) delta from the previous rename.
+func (r *Recorder) OnTraceRename(cycle, seq uint64, pc int32) {
+	if r.level < LevelPipeline || !r.inWindow(cycle) || !r.begin(cycle) {
+		return
+	}
+	r.buf = append(r.buf, byte(KindRename))
+	r.buf = binary.AppendUvarint(r.buf, seq-r.prevRenameSeq)
+	r.buf = binary.AppendUvarint(r.buf, uint64(uint32(pc)))
+	r.prevRenameSeq = seq
+	r.note(cycle)
+}
+
+// OnTraceIssue implements core.Tracer (LevelPipeline and up). Issue is
+// out of order, so the sequence delta is signed (zigzag-encoded).
+func (r *Recorder) OnTraceIssue(cycle, seq uint64, pc int32) {
+	if r.level < LevelPipeline || !r.inWindow(cycle) || !r.begin(cycle) {
+		return
+	}
+	d := int64(seq - r.prevIssueSeq)
+	r.buf = append(r.buf, byte(KindIssue))
+	r.buf = binary.AppendUvarint(r.buf, uint64(d<<1)^uint64(d>>63))
+	r.buf = binary.AppendUvarint(r.buf, uint64(uint32(pc)))
+	r.prevIssueSeq = seq
+	r.note(cycle)
+}
+
+// OnTraceCommit implements core.Tracer (every level). Commit is in
+// order, so the record stores the delta from the previous commit.
+func (r *Recorder) OnTraceCommit(cycle, seq uint64, pc int32, reused, halt bool) {
+	if !r.inWindow(cycle) || !r.begin(cycle) {
+		return
+	}
+	var flags byte
+	if reused {
+		flags |= 1
+	}
+	if halt {
+		flags |= 2
+	}
+	r.buf = append(r.buf, byte(KindCommit), flags)
+	r.buf = binary.AppendUvarint(r.buf, seq-r.prevCommitSeq)
+	r.buf = binary.AppendUvarint(r.buf, uint64(uint32(pc)))
+	r.prevCommitSeq = seq
+	r.note(cycle)
+}
+
+// OnTraceSquash implements core.Tracer (LevelPipeline and up).
+func (r *Recorder) OnTraceSquash(cycle, keepSeq uint64, n int) {
+	if r.level < LevelPipeline || !r.inWindow(cycle) || !r.begin(cycle) {
+		return
+	}
+	r.buf = append(r.buf, byte(KindSquash))
+	r.buf = binary.AppendUvarint(r.buf, keepSeq)
+	r.buf = binary.AppendUvarint(r.buf, uint64(n))
+	r.note(cycle)
+}
+
+// OnTraceJump implements core.Tracer (LevelFull only — jump records
+// are engine-specific and break cross-engine byte identity). A jump
+// carries no cycle framing: the origin is encoded relative to the last
+// framed cycle and does not advance it.
+func (r *Recorder) OnTraceJump(from, to uint64) {
+	if r.level < LevelFull || !r.inWindow(from) {
+		return
+	}
+	if r.err != nil || r.closed {
+		return
+	}
+	if !r.headerDone {
+		r.writeHeader()
+		if r.err != nil {
+			return
+		}
+	}
+	r.buf = append(r.buf, byte(KindJump))
+	r.buf = binary.AppendUvarint(r.buf, from-r.curCycle)
+	r.buf = binary.AppendUvarint(r.buf, to-from)
+	r.note(from)
+}

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"civect/internal/core"
+	"civect/internal/trace"
 )
 
 // settings accumulates option effects before New validates them as a
@@ -13,6 +15,11 @@ type settings struct {
 	cfg           Config
 	obs           Observer
 	progressEvery uint64
+	traceW        io.Writer
+	traceLevel    TraceLevel
+	traceFirst    uint64
+	traceLast     uint64
+	traceWindowed bool
 	err           error
 }
 
@@ -108,6 +115,87 @@ func WithObserver(o Observer, progressEvery uint64) Option {
 	return func(s *settings) {
 		s.obs = o
 		s.progressEvery = progressEvery
+	}
+}
+
+// TraceLevel selects how much a session's cycle-trace journal records;
+// see WithTrace. Levels nest: each one records everything the level
+// below it does.
+type TraceLevel int
+
+// The three trace levels. The zero value means "default", which is
+// TracePipeline.
+const (
+	// TraceCommits records only committed instructions — the cheapest
+	// journal that still replays committed-instruction statistics
+	// exactly.
+	TraceCommits TraceLevel = TraceLevel(trace.LevelCommits)
+	// TracePipeline (the default) adds fetch, rename, issue and squash
+	// events. Pipeline-level journals are engine-independent: every
+	// engine produces byte-identical journals for the same
+	// configuration.
+	TracePipeline TraceLevel = TraceLevel(trace.LevelPipeline)
+	// TraceFull adds engine-level events (fast-forward cycle jumps);
+	// full journals are only byte-comparable between runs of the same
+	// engine.
+	TraceFull TraceLevel = TraceLevel(trace.LevelFull)
+)
+
+// String names the trace level (commits, pipeline, full).
+func (l TraceLevel) String() string { return trace.Level(l).String() }
+
+// ParseTraceLevel inverts TraceLevel.String.
+func ParseTraceLevel(s string) (TraceLevel, error) {
+	l, err := trace.ParseLevel(s)
+	return TraceLevel(l), err
+}
+
+// WithTrace records the session's cycle-event journal into w, in the
+// deterministic binary format of docs/TRACE_FORMAT.md (default level
+// TracePipeline; see WithTraceLevel). The journal's trailer is written
+// when the session seals — after Run returns or Step ends the run — so
+// the session must be driven to its end for the journal to be
+// complete; Run and Step surface journal write errors at that point.
+// Recording never perturbs simulation results.
+func WithTrace(w io.Writer) Option {
+	return func(s *settings) {
+		if w == nil {
+			if s.err == nil {
+				s.err = fmt.Errorf("sim: WithTrace requires a non-nil writer")
+			}
+			return
+		}
+		s.traceW = w
+	}
+}
+
+// WithTraceLevel sets the journal's level (default TracePipeline).
+// Requires WithTrace.
+func WithTraceLevel(l TraceLevel) Option {
+	return func(s *settings) {
+		if l < TraceCommits || l > TraceFull {
+			if s.err == nil {
+				s.err = fmt.Errorf("sim: invalid trace level %d", int(l))
+			}
+			return
+		}
+		s.traceLevel = l
+	}
+}
+
+// WithTraceWindow restricts the journal to events in cycles
+// [first, last] (last == 0 leaves the window open-ended). The journal
+// is marked windowed, which relaxes the replayer's pipeline-discipline
+// checks. Requires WithTrace.
+func WithTraceWindow(first, last uint64) Option {
+	return func(s *settings) {
+		if last != 0 && last < first {
+			if s.err == nil {
+				s.err = fmt.Errorf("sim: invalid trace window [%d, %d]", first, last)
+			}
+			return
+		}
+		s.traceFirst, s.traceLast, s.traceWindowed = first, last, true
 	}
 }
 

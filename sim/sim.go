@@ -30,6 +30,7 @@ import (
 
 	"civect/internal/core"
 	"civect/internal/isa"
+	"civect/internal/trace"
 )
 
 // Mode selects the machine organisation, mirroring the paper's five
@@ -167,6 +168,9 @@ type Session struct {
 	// finished marks a run that ended at its budget or halt (as
 	// opposed to cancellation), making the Result complete.
 	finished bool
+	// rec is the trace journal recorder (WithTrace); nil when the
+	// session is not tracing or the journal is already sealed.
+	rec *trace.Recorder
 }
 
 // New builds a session running workload w under the given options,
@@ -187,6 +191,9 @@ func New(w *Workload, opts ...Option) (*Session, error) {
 	if st.err != nil {
 		return nil, st.err
 	}
+	if st.traceW == nil && (st.traceLevel != 0 || st.traceWindowed) {
+		return nil, errors.New("sim: WithTraceLevel/WithTraceWindow require WithTrace")
+	}
 	p, err := core.New(st.cfg, w.prog, w.newMem())
 	if err != nil {
 		return nil, err
@@ -194,7 +201,33 @@ func New(w *Workload, opts ...Option) (*Session, error) {
 	if st.obs != nil {
 		p.SetObserver(st.obs, st.progressEvery)
 	}
-	return &Session{w: w, cfg: st.cfg, proc: p}, nil
+	s := &Session{w: w, cfg: st.cfg, proc: p}
+	if st.traceW != nil {
+		lvl := trace.Level(st.traceLevel)
+		if lvl == 0 {
+			lvl = trace.LevelPipeline
+		}
+		s.rec = trace.NewRecorder(st.traceW, lvl, trace.Meta{Workload: w.name, Mode: st.cfg.Mode})
+		if st.traceWindowed {
+			s.rec.SetWindow(st.traceFirst, st.traceLast)
+		}
+		if err := s.rec.Err(); err != nil {
+			return nil, err
+		}
+		p.SetTracer(s.rec)
+	}
+	return s, nil
+}
+
+// closeTrace seals the trace journal (writing its trailer) when the
+// session seals; it returns the journal's first error, if any.
+func (s *Session) closeTrace() error {
+	if s.rec == nil {
+		return nil
+	}
+	rec := s.rec
+	s.rec = nil
+	return rec.Close()
 }
 
 // Run simulates until the program halts or the committed-instruction
@@ -213,6 +246,7 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	s.wall += time.Since(t0)
 	if err != nil {
 		s.sealed = fmt.Errorf("%w: %v", ErrSessionEnded, err)
+		s.closeTrace() // the run error outranks a journal write error
 		if stats != nil {
 			// Cancellation or deadline: partial but well-defined stats.
 			return s.makeResult(stats, true), err
@@ -221,7 +255,11 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	}
 	s.finished = true
 	s.sealed = fmt.Errorf("%w: run complete", ErrSessionEnded)
-	return s.makeResult(stats, false), nil
+	res := s.makeResult(stats, false)
+	if terr := s.closeTrace(); terr != nil {
+		return res, fmt.Errorf("sim: trace journal: %w", terr)
+	}
+	return res, nil
 }
 
 // Step advances the simulation by up to n cycles (the fast-forward
@@ -251,6 +289,9 @@ func (s *Session) Step(n int) (int, error) {
 		// Match Run's terminal bookkeeping so a step-driven run's
 		// statistics are bit-identical to Run's.
 		s.proc.Finalize()
+		if terr := s.closeTrace(); terr != nil {
+			return stepped, fmt.Errorf("sim: trace journal: %w", terr)
+		}
 	}
 	return stepped, nil
 }

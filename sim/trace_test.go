@@ -1,0 +1,199 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+
+	"civect/internal/trace"
+	"civect/sim"
+)
+
+func traceRun(t *testing.T, opts ...sim.Option) ([]byte, *sim.Result) {
+	t.Helper()
+	w, err := sim.Load("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s, err := sim.New(w, append([]sim.Option{sim.WithInstrBudget(10_000), sim.WithTrace(&buf)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestTraceNonPerturbation checks that attaching a trace recorder
+// cannot change simulation results: the traced run's statistics equal
+// the untraced run's.
+func TestTraceNonPerturbation(t *testing.T) {
+	w, err := sim.Load("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(w, sim.WithInstrBudget(10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, traced := traceRun(t)
+	if plain.Stats != traced.Stats {
+		t.Fatalf("tracing perturbed the run:\nplain:  %+v\ntraced: %+v", plain.Stats, traced.Stats)
+	}
+}
+
+// TestTraceReplayReproducesStats is the façade-level acceptance check:
+// record a 10k-instruction gcc run and replay the journal offline; the
+// replayer must reproduce the committed-instruction statistics exactly.
+func TestTraceReplayReproducesStats(t *testing.T) {
+	journal, res := traceRun(t)
+	r, err := trace.NewReader(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := r.Meta(); m.Workload != "gcc" {
+		t.Fatalf("journal names workload %q", m.Workload)
+	}
+	sum, err := trace.Replay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Machine.Committed != res.Stats.Committed {
+		t.Fatalf("replay committed %d, run committed %d", sum.Machine.Committed, res.Stats.Committed)
+	}
+	if sum.Machine.Reused != res.Stats.CommittedReuse {
+		t.Fatalf("replay reuse %d, run reuse %d", sum.Machine.Reused, res.Stats.CommittedReuse)
+	}
+}
+
+// TestTraceWindow checks windowed recording: the journal is flagged,
+// holds only events inside the window, and still replays (leniently).
+func TestTraceWindow(t *testing.T) {
+	const first, last = 500, 1500
+	journal, _ := traceRun(t, sim.WithTraceWindow(first, last))
+	r, err := trace.NewReader(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Windowed() {
+		t.Fatal("windowed journal not flagged")
+	}
+	n := 0
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Cycle < first || e.Cycle > last {
+			t.Fatalf("event outside window: %+v", e)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("window captured no events")
+	}
+	r2, err := trace.NewReader(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Replay(r2); err != nil {
+		t.Fatalf("windowed replay: %v", err)
+	}
+}
+
+// TestTraceLevelOption checks WithTraceLevel reaches the journal
+// header and changes what is recorded.
+func TestTraceLevelOption(t *testing.T) {
+	commits, _ := traceRun(t, sim.WithTraceLevel(sim.TraceCommits))
+	pipeline, _ := traceRun(t)
+	if len(commits) >= len(pipeline) {
+		t.Fatalf("commits-level journal (%d bytes) not smaller than pipeline (%d bytes)",
+			len(commits), len(pipeline))
+	}
+	r, err := trace.NewReader(bytes.NewReader(commits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Level() != trace.LevelCommits {
+		t.Fatalf("journal level %v, want commits", r.Level())
+	}
+}
+
+// TestTraceStepDriven checks a Step-driven session seals its journal
+// identically to Run's.
+func TestTraceStepDriven(t *testing.T) {
+	viaRun, _ := traceRun(t)
+	w, err := sim.Load("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s, err := sim.New(w, sim.WithInstrBudget(10_000), sim.WithTrace(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		n, err := s.Step(1024)
+		if errors.Is(err, sim.ErrSessionEnded) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	if !bytes.Equal(buf.Bytes(), viaRun) {
+		t.Fatalf("step-driven journal differs from Run's (%d vs %d bytes)", buf.Len(), len(viaRun))
+	}
+}
+
+// TestTraceOptionValidation pins the façade's eager validation of the
+// trace options.
+func TestTraceOptionValidation(t *testing.T) {
+	w, err := sim.Load("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []sim.Option
+	}{
+		{"nil writer", []sim.Option{sim.WithTrace(nil)}},
+		{"level without trace", []sim.Option{sim.WithTraceLevel(sim.TraceFull)}},
+		{"window without trace", []sim.Option{sim.WithTraceWindow(1, 2)}},
+		{"invalid level", []sim.Option{sim.WithTrace(&bytes.Buffer{}), sim.WithTraceLevel(42)}},
+		{"inverted window", []sim.Option{sim.WithTrace(&bytes.Buffer{}), sim.WithTraceWindow(9, 3)}},
+	}
+	for _, tc := range cases {
+		if _, err := sim.New(w, tc.opts...); err == nil {
+			t.Errorf("%s: New accepted it", tc.name)
+		}
+	}
+}
+
+// TestParseTraceLevel round-trips the level names.
+func TestParseTraceLevel(t *testing.T) {
+	for _, l := range []sim.TraceLevel{sim.TraceCommits, sim.TracePipeline, sim.TraceFull} {
+		got, err := sim.ParseTraceLevel(l.String())
+		if err != nil || got != l {
+			t.Fatalf("ParseTraceLevel(%q) = %v, %v", l.String(), got, err)
+		}
+	}
+	if _, err := sim.ParseTraceLevel("verbose"); err == nil {
+		t.Fatal("ParseTraceLevel accepted junk")
+	}
+}
