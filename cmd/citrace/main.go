@@ -95,10 +95,15 @@ func cmdRecord(args []string) {
 		fatal(err)
 	}
 
-	f, err := os.Create(*out)
+	// The journal is published atomically: it is recorded into a temp
+	// file and renamed onto -o only after the run completed and the
+	// trailer sealed, so an interrupted or failed record never leaves a
+	// truncated file where a valid artifact is expected.
+	f, err := trace.NewAtomicFile(*out)
 	if err != nil {
 		fatal(err)
 	}
+	defer f.Abort() // no-op once committed
 	opts := []sim.Option{
 		sim.WithMode(mode),
 		sim.WithEngine(engine),
@@ -126,7 +131,7 @@ func cmdRecord(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	if err := f.Close(); err != nil {
+	if err := f.Commit(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s: %s/%s level=%s: %d cycles, %d committed\n",

@@ -19,6 +19,22 @@
 // Test files are exempt: differential suites intentionally use seeded
 // randomness and timers. Range-over-map ordering hazards are the
 // mapdet analyzer's job.
+//
+// # Scope
+//
+// The -nodeterm.pkgs flag draws the determinism boundary. The default
+// set is the simulator's reproducible core — internal/core,
+// internal/ci, internal/sweep, internal/benchfmt — whose outputs must
+// be byte-identical across runs, shards and machines. The service
+// layer (civect/internal/serve and the ciserve daemon over it) is
+// deliberately NOT in the set: timeouts, retry backoff, drain
+// deadlines and selects racing client connections against timers are
+// what a daemon is made of. Determinism of simulation *results* is
+// unaffected — serve only orchestrates sessions through civect/sim,
+// and its chaos test asserts byte-identical statistics under
+// concurrency and fault injection. The fixtures under
+// testdata/src/civect/internal/{serve,core} pin this boundary: the
+// same constructs pass unflagged in serve and are diagnosed in core.
 package nodeterm
 
 import (

@@ -23,10 +23,28 @@ func TestNodeterm(t *testing.T) {
 }
 
 // TestDefaultPackages pins the shipped deterministic set: the
-// simulator core and everything whose bytes must reproduce.
+// simulator core and everything whose bytes must reproduce. The
+// service layer (civect/internal/serve) is deliberately absent —
+// daemons live on the wall clock.
 func TestDefaultPackages(t *testing.T) {
 	want := "civect/internal/core,civect/internal/ci,civect/internal/sweep,civect/internal/benchfmt"
 	if nodeterm.DefaultPackages != want {
 		t.Fatalf("DefaultPackages = %q, want %q", nodeterm.DefaultPackages, want)
 	}
+}
+
+// TestDefaultScopeExcludesServe proves the shipped scope boundary with
+// fixtures at the real package paths: under the DEFAULT -nodeterm.pkgs
+// value, civect/internal/serve uses time.Since and multi-way selects
+// without a single diagnostic (its fixture carries no want comments),
+// while the identical constructs in civect/internal/core are flagged.
+func TestDefaultScopeExcludesServe(t *testing.T) {
+	f := nodeterm.Analyzer.Flags.Lookup("pkgs")
+	old := f.Value.String()
+	if err := f.Value.Set(nodeterm.DefaultPackages); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Value.Set(old)
+	linttest.Run(t, "testdata", nodeterm.Analyzer,
+		"civect/internal/serve", "civect/internal/core")
 }

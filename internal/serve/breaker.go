@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState string
+
+// The three classic breaker states.
+const (
+	// BreakerClosed: traffic flows normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: the server sheds new submissions (503) until the
+	// cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown elapsed; one probe job is admitted
+	// to test the water. Its success closes the breaker, its failure
+	// reopens it.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig tunes the load-shedding circuit breaker. The breaker
+// exists for failure modes backpressure alone cannot handle: memory
+// pressure from in-flight jobs (a full queue bounds *count*, not
+// *bytes* — big-tier workloads hold multi-MB working sets), sustained
+// queue waits (jobs admitted only to sit past their usefulness), and
+// failure storms (every worker slot burning retries on a sick
+// dependency).
+type BreakerConfig struct {
+	// HeapLimitBytes trips the breaker when the live heap exceeds it
+	// (0 disables the memory watermark).
+	HeapLimitBytes uint64
+	// QueueWaitLimit trips the breaker when a dequeued job waited
+	// longer than this for a worker (0 disables).
+	QueueWaitLimit time.Duration
+	// FailureLimit trips the breaker after that many consecutive
+	// exhausted-or-fatal job failures (0 disables).
+	FailureLimit int
+	// Cooldown is how long the breaker stays open before a half-open
+	// probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// breaker implements the circuit breaker. The clock and the heap
+// reader are injected so tests drive it deterministically.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+	// heapInUse returns the live heap size; the default samples
+	// runtime.ReadMemStats at most once per memSamplePeriod since it
+	// briefly stops the world.
+	heapInUse func() uint64
+
+	mu         sync.Mutex
+	state      BreakerState
+	reason     string
+	openedAt   time.Time
+	failures   int // consecutive job failures
+	probing    bool
+	lastSample time.Time
+	lastHeap   uint64
+}
+
+// memSamplePeriod bounds how often the default heap reader pays for a
+// ReadMemStats.
+const memSamplePeriod = 250 * time.Millisecond
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	b := &breaker{cfg: cfg.withDefaults(), now: now, state: BreakerClosed}
+	if b.now == nil {
+		b.now = time.Now
+	}
+	return b
+}
+
+// sampleHeap returns the live heap, memoized for memSamplePeriod.
+// Callers hold b.mu.
+func (b *breaker) sampleHeap() uint64 {
+	if b.heapInUse != nil {
+		return b.heapInUse()
+	}
+	if now := b.now(); now.Sub(b.lastSample) >= memSamplePeriod {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.lastHeap = ms.HeapAlloc
+		b.lastSample = now
+	}
+	return b.lastHeap
+}
+
+// Allow decides whether one new submission may be admitted right now.
+// When it returns false, reason names the watermark that tripped and
+// retryAfter is the client's suggested wait.
+func (b *breaker) Allow() (ok bool, reason string, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.HeapLimitBytes > 0 && b.state == BreakerClosed {
+		if h := b.sampleHeap(); h > b.cfg.HeapLimitBytes {
+			b.tripLocked(fmt.Sprintf("heap in use %d bytes exceeds limit %d", h, b.cfg.HeapLimitBytes))
+		}
+	}
+	switch b.state {
+	case BreakerClosed:
+		return true, "", 0
+	case BreakerOpen:
+		since := b.now().Sub(b.openedAt)
+		if since < b.cfg.Cooldown {
+			return false, b.reason, b.cfg.Cooldown - since
+		}
+		// Cooldown over: move to half-open and admit one probe.
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, "", 0
+	default: // BreakerHalfOpen
+		if b.probing {
+			// The probe is still in flight; keep shedding until it
+			// reports.
+			return false, b.reason, b.cfg.Cooldown
+		}
+		b.probing = true
+		return true, "", 0
+	}
+}
+
+// ObserveQueueWait feeds the breaker the queue wait of a job a worker
+// just picked up.
+func (b *breaker) ObserveQueueWait(wait time.Duration) {
+	if b.cfg.QueueWaitLimit <= 0 || wait <= b.cfg.QueueWaitLimit {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerClosed {
+		b.tripLocked(fmt.Sprintf("queue wait %v exceeds limit %v", wait, b.cfg.QueueWaitLimit))
+	}
+}
+
+// ObserveResult feeds the breaker a finished job's outcome. Canceled
+// jobs are neutral: a client hanging up says nothing about server
+// health.
+func (b *breaker) ObserveResult(class Class) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch class {
+	case "", ClassCanceled:
+		if class == "" {
+			b.failures = 0
+			if b.state == BreakerHalfOpen {
+				// The probe came back healthy.
+				b.state = BreakerClosed
+				b.reason = ""
+				b.probing = false
+			}
+		}
+	default:
+		b.failures++
+		if b.state == BreakerHalfOpen {
+			// The probe failed: reopen for another cooldown.
+			b.probing = false
+			b.tripLocked("half-open probe failed: " + string(class))
+			return
+		}
+		if b.cfg.FailureLimit > 0 && b.failures >= b.cfg.FailureLimit && b.state == BreakerClosed {
+			b.tripLocked(fmt.Sprintf("%d consecutive job failures", b.failures))
+		}
+	}
+}
+
+// tripLocked opens the breaker. Callers hold b.mu.
+func (b *breaker) tripLocked(reason string) {
+	b.state = BreakerOpen
+	b.reason = reason
+	b.openedAt = b.now()
+	b.failures = 0
+}
+
+// Snapshot returns the breaker's state and trip reason for /healthz.
+func (b *breaker) Snapshot() (BreakerState, string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.reason
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	return newBreaker(cfg, clk.now), clk
+}
+
+func TestBreakerHeapWatermark(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{HeapLimitBytes: 1 << 20, Cooldown: time.Second})
+	heap := uint64(512 << 10)
+	b.heapInUse = func() uint64 { return heap }
+
+	if ok, _, _ := b.Allow(); !ok {
+		t.Fatal("breaker should admit below the heap watermark")
+	}
+
+	heap = 2 << 20
+	ok, reason, retryAfter := b.Allow()
+	if ok {
+		t.Fatal("breaker should trip above the heap watermark")
+	}
+	if !strings.Contains(reason, "heap in use") {
+		t.Errorf("trip reason %q does not name the heap watermark", reason)
+	}
+	if retryAfter <= 0 || retryAfter > time.Second {
+		t.Errorf("retryAfter = %v, want within the cooldown", retryAfter)
+	}
+
+	// Still open mid-cooldown even after the heap recovers: the breaker
+	// holds its state, it does not flap.
+	heap = 0
+	clk.advance(500 * time.Millisecond)
+	if ok, _, _ := b.Allow(); ok {
+		t.Fatal("breaker reopened mid-cooldown")
+	}
+
+	// Cooldown over: one half-open probe is admitted, the next caller
+	// is still shed until the probe reports.
+	clk.advance(time.Second)
+	if ok, _, _ := b.Allow(); !ok {
+		t.Fatal("breaker should admit the half-open probe after cooldown")
+	}
+	if ok, _, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted a second caller while the probe is in flight")
+	}
+
+	// Probe succeeds: closed again, traffic flows.
+	b.ObserveResult("")
+	if st, _ := b.Snapshot(); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", st)
+	}
+	if ok, _, _ := b.Allow(); !ok {
+		t.Fatal("breaker should admit freely once closed")
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{FailureLimit: 2, Cooldown: time.Second})
+	b.heapInUse = func() uint64 { return 0 }
+
+	b.ObserveResult(ClassTransient)
+	if st, _ := b.Snapshot(); st != BreakerClosed {
+		t.Fatalf("one failure below the limit tripped the breaker (state %s)", st)
+	}
+	b.ObserveResult(ClassFatal)
+	st, reason := b.Snapshot()
+	if st != BreakerOpen {
+		t.Fatalf("state after %d consecutive failures = %s, want open", 2, st)
+	}
+	if !strings.Contains(reason, "consecutive job failures") {
+		t.Errorf("trip reason %q does not name the failure watermark", reason)
+	}
+
+	clk.advance(2 * time.Second)
+	if ok, _, _ := b.Allow(); !ok {
+		t.Fatal("breaker should admit a probe after cooldown")
+	}
+	// Probe fails: open again for a fresh cooldown.
+	b.ObserveResult(ClassTransient)
+	if st, _ := b.Snapshot(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", st)
+	}
+	if ok, _, _ := b.Allow(); ok {
+		t.Fatal("breaker admitted traffic right after a failed probe")
+	}
+}
+
+func TestBreakerQueueWaitAndNeutralCancel(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{QueueWaitLimit: 100 * time.Millisecond, FailureLimit: 1})
+	b.heapInUse = func() uint64 { return 0 }
+
+	b.ObserveQueueWait(50 * time.Millisecond)
+	if st, _ := b.Snapshot(); st != BreakerClosed {
+		t.Fatal("queue wait below the limit tripped the breaker")
+	}
+
+	// Cancellations are neutral: they neither trip nor reset.
+	b.ObserveResult(ClassCanceled)
+	if st, _ := b.Snapshot(); st != BreakerClosed {
+		t.Fatal("a canceled job tripped the breaker")
+	}
+
+	b.ObserveQueueWait(250 * time.Millisecond)
+	st, reason := b.Snapshot()
+	if st != BreakerOpen {
+		t.Fatalf("state after excessive queue wait = %s, want open", st)
+	}
+	if !strings.Contains(reason, "queue wait") {
+		t.Errorf("trip reason %q does not name the queue-wait watermark", reason)
+	}
+}

@@ -1,0 +1,301 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"civect/internal/serve"
+	"civect/internal/serve/faultinject"
+	"civect/internal/serve/servetest"
+	"civect/sim"
+)
+
+// chaosSpecs are the simulation shapes the chaos swarm cycles through:
+// different workloads, machine modes and engines, all short enough to
+// run hundreds of times under -race.
+var chaosSpecs = []serve.JobSpec{
+	{Workload: "gcc", MaxInstr: 4000},
+	{Workload: "mcf", Mode: "ci", MaxInstr: 5000},
+	{Workload: "gzip", Mode: "vect", MaxInstr: 4000},
+	{Workload: "parser", Mode: "wb", MaxInstr: 4000},
+	{Workload: "twolf", Mode: "ci", Engine: "event", MaxInstr: 4000},
+}
+
+// chaosReference runs one spec serially — no server, no concurrency,
+// no faults — and returns its stats block as canonical JSON.
+func chaosReference(t *testing.T, sp serve.JobSpec) []byte {
+	t.Helper()
+	mode := sim.CI
+	if sp.Mode != "" {
+		m, err := sim.ParseMode(sp.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mode = m
+	}
+	engine := sim.EngineFastForward
+	if sp.Engine != "" {
+		e, err := sim.ParseEngine(sp.Engine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine = e
+	}
+	st := serialStats(t, sp.Workload,
+		sim.WithMode(mode), sim.WithEngine(engine),
+		sim.WithPorts(1), sim.WithRegs(256), sim.WithSpecMem(0),
+		sim.WithInstrBudget(sp.MaxInstr))
+	return statsJSON(t, st)
+}
+
+// TestChaos floods the daemon with hundreds of concurrent short jobs
+// while every fault injector fires — worker panics, artificial slow
+// jobs, mid-job cancels, trace-write failures and queue-full bursts —
+// and asserts the hardening contract:
+//
+//   - every job reaches a terminal state and every fault maps to its
+//     classified outcome (done / canceled / failed-transient)
+//   - results of successful jobs are byte-identical to serial,
+//     fault-free runs of the same spec: concurrency and chaos never
+//     perturb the simulation
+//   - no panic escapes a worker (the process is alive and the panics
+//     were counted as recovered)
+//   - the trace dir holds only sealed artifacts of successful jobs —
+//     no temp files, no truncated journals
+//   - no goroutines leak (the servetest harness asserts it at teardown)
+//
+// Run under -race in the CI service job.
+func TestChaos(t *testing.T) {
+	const jobCount = 220
+
+	// Serial references first: the truth the chaos results must match.
+	refs := make([][]byte, len(chaosSpecs))
+	for i, sp := range chaosSpecs {
+		refs[i] = chaosReference(t, sp)
+	}
+
+	traceDir := t.TempDir()
+	s, ts := servetest.Start(t, serve.Config{
+		Workers:    8,
+		QueueDepth: 24, // small on purpose: the submit burst must overflow it
+		// Progress cadence inside every budget so the observer-site
+		// injectors (panic, cancel) can fire.
+		ProgressEvery: 500,
+		TraceDir:      traceDir,
+		Retry:         serve.RetryPolicy{MaxAttempts: 3, Backoff: func(int) time.Duration { return time.Millisecond }},
+		Faults: &faultinject.Plan{
+			Seed:          42,
+			PanicRate:     0.15,
+			SlowRate:      0.10,
+			SlowFor:       2 * time.Millisecond,
+			CancelRate:    0.12,
+			TraceFailRate: 0.40,
+		},
+		Logf: func(string, ...any) {}, // hundreds of expected fault lines
+	})
+
+	type outcome struct {
+		spec int
+		view serve.View
+	}
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		shed429  int
+	)
+	var wg sync.WaitGroup
+	client := ts.Client()
+	for i := 0; i < jobCount; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			specIdx := i % len(chaosSpecs)
+			sp := chaosSpecs[specIdx]
+			sp.Trace = i%4 == 0 // every 4th job records a journal
+			body, err := json.Marshal(sp)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+
+			// Submit, riding out backpressure: 429 (queue full) and 503
+			// (breaker) both mean "try again shortly" — exactly what a
+			// well-behaved client does.
+			var id string
+			deadline := time.Now().Add(2 * time.Minute)
+			for {
+				req, _ := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+				req.Header.Set("Idempotency-Key", fmt.Sprintf("chaos-%d", i))
+				resp, err := client.Do(req)
+				if err != nil {
+					t.Errorf("job %d: submit: %v", i, err)
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusOK {
+					var v serve.View
+					if err := json.Unmarshal(b, &v); err != nil {
+						t.Errorf("job %d: decoding submit response: %v", i, err)
+						return
+					}
+					id = v.ID
+					break
+				}
+				if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("job %d: submit status %d\n%s", i, resp.StatusCode, b)
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					mu.Lock()
+					shed429++
+					mu.Unlock()
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("job %d: still shed at deadline", i)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+
+			// Poll to a terminal state.
+			for {
+				resp, err := client.Get(ts.URL + "/v1/jobs/" + id)
+				if err != nil {
+					t.Errorf("job %d: poll: %v", i, err)
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var v serve.View
+				if err := json.Unmarshal(b, &v); err != nil {
+					t.Errorf("job %d: decoding poll response: %v", i, err)
+					return
+				}
+				if v.State.Terminal() {
+					mu.Lock()
+					outcomes = append(outcomes, outcome{spec: specIdx, view: v})
+					mu.Unlock()
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Errorf("job %d (%s): not terminal at deadline (state %s)", i, id, v.State)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if len(outcomes) != jobCount {
+		t.Fatalf("collected %d outcomes, want %d", len(outcomes), jobCount)
+	}
+
+	// Every fault maps to its classified outcome; successes are
+	// byte-identical to the serial references.
+	var done, canceled, failed int
+	tracedDone := map[string]bool{} // trace filename -> seen
+	for _, o := range outcomes {
+		v := o.view
+		switch v.State {
+		case serve.StateDone:
+			done++
+			if v.Result == nil || v.Result.Partial {
+				t.Fatalf("job %s done without a complete result", v.ID)
+			}
+			if got := statsJSON(t, v.Result.Stats); !bytes.Equal(got, refs[o.spec]) {
+				t.Errorf("job %s (%s) stats diverge from the serial run:\n got %s\nwant %s",
+					v.ID, chaosSpecs[o.spec].Workload, got, refs[o.spec])
+			}
+			if v.Spec.Trace {
+				if v.TracePath == "" {
+					t.Errorf("done trace job %s has no trace_path", v.ID)
+				} else {
+					tracedDone[filepath.Base(v.TracePath)] = true
+				}
+			}
+		case serve.StateCanceled:
+			canceled++
+			if v.ErrorClass != serve.ClassCanceled {
+				t.Errorf("canceled job %s classified %q, want canceled", v.ID, v.ErrorClass)
+			}
+			if v.Result != nil && !v.Result.Partial {
+				t.Errorf("canceled job %s carries a non-partial result", v.ID)
+			}
+		case serve.StateFailed:
+			failed++
+			// Every injected fault is transient (recovered panic or
+			// trace-write failure); a job only fails once retries are
+			// exhausted.
+			if v.ErrorClass != serve.ClassTransient {
+				t.Errorf("failed job %s classified %q (%s), want transient", v.ID, v.ErrorClass, v.Error)
+			}
+			if !strings.Contains(v.Error, "panicked") && !strings.Contains(v.Error, "faultinject") {
+				t.Errorf("failed job %s error %q does not trace back to an injected fault", v.ID, v.Error)
+			}
+			if v.Attempts != 3 {
+				t.Errorf("failed job %s gave up after %d attempts, want the full retry budget of 3", v.ID, v.Attempts)
+			}
+		default:
+			t.Errorf("job %s in impossible terminal state %s", v.ID, v.State)
+		}
+	}
+	t.Logf("chaos outcomes: %d done, %d canceled, %d failed; %d submissions shed with 429",
+		done, canceled, failed, shed429)
+
+	// The injectors actually fired: with these rates over 220 jobs the
+	// probability of any counter staying zero is negligible (< 1e-9).
+	m := s.Metrics()
+	if m.PanicsRecovered.Load() == 0 {
+		t.Error("no panics recovered: the panic injector never fired")
+	}
+	if canceled == 0 {
+		t.Error("no jobs canceled: the mid-job cancel injector never fired")
+	}
+	if m.Retries.Load() == 0 {
+		t.Error("no retries: transient failures were never retried")
+	}
+	if done == 0 {
+		t.Error("no jobs succeeded under chaos")
+	}
+
+	// The artifact dir holds exactly the sealed journals of successful
+	// trace jobs: no temp files, no journals for failed or canceled jobs.
+	entries, err := os.ReadDir(traceDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("trace dir holds leftover temp file %s", e.Name())
+			continue
+		}
+		if !tracedDone[e.Name()] {
+			t.Errorf("trace dir holds %s, which no successful trace job claims", e.Name())
+		}
+	}
+	if len(tracedDone) > 0 && len(entries) == 0 {
+		t.Error("successful trace jobs claim journals but the trace dir is empty")
+	}
+
+	// Quiesce cleanly: nothing is in flight, so the drain is graceful.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("post-chaos Drain = %v, want nil", err)
+	}
+	if hstatus, _, b := doJSON(t, "GET", ts.URL+"/healthz", "", nil); hstatus != http.StatusServiceUnavailable {
+		t.Errorf("post-drain /healthz status = %d, want 503\n%s", hstatus, b)
+	}
+}

@@ -1,0 +1,126 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"civect/internal/serve"
+	"civect/internal/serve/servetest"
+)
+
+// TestGracefulDrain is the clean-shutdown contract: in-flight and
+// queued jobs finish on their own, Drain returns nil, and new
+// submissions are refused with 503 the moment draining starts.
+func TestGracefulDrain(t *testing.T) {
+	s, ts := servetest.Start(t, serve.Config{Workers: 2, DrainTimeout: 60 * time.Second})
+
+	ids := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		_, _, b := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"workload":"gcc","max_instr":5000}`, nil)
+		ids = append(ids, decodeView(t, b).ID)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain = %v, want nil (everything had time to finish)", err)
+	}
+	for _, id := range ids {
+		v := waitTerminal(t, ts.URL, id)
+		if v.State != serve.StateDone || v.Result == nil || v.Result.Partial {
+			t.Errorf("job %s drained as %s (partial=%v), want done with a complete result",
+				id, v.State, v.Result != nil && v.Result.Partial)
+		}
+	}
+
+	// Draining refuses new work with 503/transient and counts the shed.
+	status, _, b := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"workload":"gcc"}`, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status = %d, want 503\n%s", status, b)
+	}
+	if class := errClass(t, b); class != serve.ClassTransient {
+		t.Errorf("draining error class = %q, want transient", class)
+	}
+	if shed := s.Metrics().ShedDraining.Load(); shed != 1 {
+		t.Errorf("metrics shed_draining = %d, want 1", shed)
+	}
+
+	// Existing jobs stay readable, and /healthz reports the drain.
+	status, _, _ = doJSON(t, "GET", ts.URL+"/v1/jobs/"+ids[0], "", nil)
+	if status != http.StatusOK {
+		t.Errorf("GET finished job while draining: status = %d, want 200", status)
+	}
+	status, _, b = doJSON(t, "GET", ts.URL+"/healthz", "", nil)
+	if status != http.StatusServiceUnavailable || !contains(b, `"draining"`) {
+		t.Errorf("/healthz while draining: status %d body %s, want 503 draining", status, b)
+	}
+
+	// Drain is idempotent once everything is down.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Errorf("second Drain = %v, want nil", err)
+	}
+}
+
+// TestDrainDeadlineCheckpoints is the SIGTERM-with-work-in-flight
+// contract: at the drain deadline, running jobs are cancelled and each
+// checkpoints a well-formed partial result; Drain still returns with
+// all workers stopped.
+func TestDrainDeadlineCheckpoints(t *testing.T) {
+	s, ts := servetest.Start(t, serve.Config{Workers: 1, DrainTimeout: 300 * time.Millisecond})
+
+	_, _, b := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"workload":"gcc","max_instr":50000000}`, nil)
+	running := decodeView(t, b)
+	waitState(t, ts.URL, running.ID, serve.StateRunning)
+	_, _, b = doJSON(t, "POST", ts.URL+"/v1/jobs", `{"workload":"gcc","max_instr":50000000}`, nil)
+	queued := decodeView(t, b)
+
+	start := time.Now()
+	err := s.Drain(context.Background())
+	if err == nil {
+		t.Fatal("Drain = nil, want the deadline error (a 50M-instr job cannot finish in 300ms)")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("Drain took %v after a 300ms deadline; the cut must be prompt", elapsed)
+	}
+
+	// The running job checkpointed: canceled, with a non-empty partial.
+	v := waitTerminal(t, ts.URL, running.ID)
+	if v.State != serve.StateCanceled || v.ErrorClass != serve.ClassCanceled {
+		t.Fatalf("in-flight job drained as %s/%s, want canceled/canceled", v.State, v.ErrorClass)
+	}
+	if v.Result == nil || !v.Result.Partial || v.Result.Stats.Committed == 0 {
+		t.Errorf("in-flight job result = %+v, want a non-empty partial checkpoint", v.Result)
+	}
+
+	// The queued job never got a session; it is canceled without a result.
+	v = waitTerminal(t, ts.URL, queued.ID)
+	if v.State != serve.StateCanceled {
+		t.Errorf("queued job drained as %s, want canceled", v.State)
+	}
+	if v.Result != nil {
+		t.Errorf("queued job has a result but never ran")
+	}
+}
+
+// TestDrainHonorsContext cuts the drain via the caller's context
+// rather than the configured timeout.
+func TestDrainHonorsContext(t *testing.T) {
+	s, ts := servetest.Start(t, serve.Config{Workers: 1, DrainTimeout: 60 * time.Second})
+
+	_, _, b := doJSON(t, "POST", ts.URL+"/v1/jobs", `{"workload":"gcc","max_instr":50000000}`, nil)
+	job := decodeView(t, b)
+	waitState(t, ts.URL, job.ID, serve.StateRunning)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("Drain = nil, want the context deadline error")
+	}
+	v := waitTerminal(t, ts.URL, job.ID)
+	if v.State != serve.StateCanceled || v.Result == nil || !v.Result.Partial {
+		t.Errorf("job after context-cut drain = %s (result %v), want canceled with a partial", v.State, v.Result != nil)
+	}
+}
+
+func contains(b []byte, sub string) bool { return strings.Contains(string(b), sub) }

@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDecideDeterministic: the same (plan, key, attempt) triple always
+// yields the same decision — the property every chaos assertion
+// stands on.
+func TestDecideDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, PanicRate: 0.3, SlowRate: 0.3, CancelRate: 0.3, TraceFailRate: 0.3}
+	for _, key := range []string{"job-a", "job-b", "job-c"} {
+		for attempt := 1; attempt <= 5; attempt++ {
+			d1 := p.Decide(key, attempt)
+			d2 := p.Decide(key, attempt)
+			if d1 != d2 {
+				t.Errorf("Decide(%q, %d) not deterministic: %+v vs %+v", key, attempt, d1, d2)
+			}
+		}
+	}
+}
+
+// TestDecideVariesByAttempt: retries must be able to escape a fault —
+// across many keys, an attempt-1 fault is not a life sentence.
+func TestDecideVariesByAttempt(t *testing.T) {
+	p := &Plan{Seed: 7, PanicRate: 0.5}
+	escaped := 0
+	for i := 0; i < 64; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if p.Decide(key, 1).Panic && !p.Decide(key, 2).Panic {
+			escaped++
+		}
+	}
+	if escaped == 0 {
+		t.Error("no key ever escaped an attempt-1 panic on attempt 2; attempts are not independent")
+	}
+}
+
+// TestDecideRates: a zero-rate plan injects nothing; a rate-1 plan
+// faults every attempt; intermediate rates land in a wide plausible
+// band.
+func TestDecideRates(t *testing.T) {
+	if d := (&Plan{Seed: 1}).Decide("k", 1); d.Faulted() {
+		t.Errorf("zero plan injected %+v", d)
+	}
+	var nilPlan *Plan
+	if d := nilPlan.Decide("k", 1); d.Faulted() {
+		t.Errorf("nil plan injected %+v", d)
+	}
+	always := &Plan{Seed: 1, PanicRate: 1}
+	hits, cancels := 0, 0
+	half := &Plan{Seed: 99, CancelRate: 0.5}
+	for i := 0; i < 200; i++ {
+		key := "job-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+		if always.Decide(key, 1).Panic {
+			hits++
+		}
+		if half.Decide(key, 1).CancelAfter > 0 {
+			cancels++
+		}
+	}
+	if hits != 200 {
+		t.Errorf("rate-1 panic hit %d/200 attempts", hits)
+	}
+	if cancels < 60 || cancels > 140 {
+		t.Errorf("rate-0.5 cancel hit %d/200 attempts, far from half", cancels)
+	}
+}
+
+// TestDecidePanicExcludesCancel: the two faults that would race each
+// other are never injected together.
+func TestDecidePanicExcludesCancel(t *testing.T) {
+	p := &Plan{Seed: 3, PanicRate: 1, CancelRate: 1}
+	for i := 0; i < 50; i++ {
+		d := p.Decide("job-"+string(rune('a'+i)), 1)
+		if d.Panic && d.CancelAfter > 0 {
+			t.Fatalf("attempt got both a panic and a cancel: %+v", d)
+		}
+		if !d.Panic {
+			t.Fatalf("rate-1 panic missing: %+v", d)
+		}
+	}
+}
+
+// TestParsePlan covers the flag syntax end to end.
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("seed=7,panic=0.05,slow=0.1:8ms,cancel=0.02,tracefail=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, PanicRate: 0.05, SlowRate: 0.1, SlowFor: 8 * time.Millisecond,
+		CancelRate: 0.02, TraceFailRate: 0.5}
+	if *p != want {
+		t.Errorf("ParsePlan = %+v, want %+v", *p, want)
+	}
+	if p, err := ParsePlan(""); err != nil || p != nil {
+		t.Errorf("empty plan = %v, %v; want nil, nil", p, err)
+	}
+	for _, bad := range []string{"panic", "panic=2", "panic=x", "warp=0.1", "slow=0.1:xs", "seed=-1"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}

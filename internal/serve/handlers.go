@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// errQueueFull is the backpressure signal: the bounded queue has no
+// room, the client should retry after a short wait (HTTP 429).
+var errQueueFull = errors.New("serve: job queue full")
+
+// errDraining refuses submissions during graceful shutdown (HTTP 503).
+var errDraining = errors.New("serve: draining, not accepting new jobs")
+
+// overloadedError is the circuit breaker's shed signal (HTTP 503).
+type overloadedError struct {
+	reason     string
+	retryAfter time.Duration
+}
+
+func (e *overloadedError) Error() string { return "serve: overloaded: " + e.reason }
+
+// maxBodyBytes bounds request bodies: a job spec is a few hundred
+// bytes, so anything above a megabyte is hostile or broken.
+const maxBodyBytes = 1 << 20
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+	Class Class  `json:"class"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /v1/jobs             submit a job (JobSpec body, optional Idempotency-Key header)
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status + result
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/events SSE progress stream
+//	GET    /healthz             liveness + operational counters
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, class Class, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Class: class})
+}
+
+// retryAfterHeader renders a Retry-After value in whole seconds,
+// rounded up so "retry after 300ms" does not read as "now".
+func retryAfterHeader(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, ClassBadRequest, "invalid job spec: "+err.Error())
+		return
+	}
+	wl, opts, err := spec.resolve(&s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, ClassBadRequest, err.Error())
+		return
+	}
+
+	j, replayed, err := s.submit(spec, r.Header.Get("Idempotency-Key"), wl, opts)
+	switch {
+	case err == nil:
+		status := http.StatusCreated
+		if replayed {
+			status = http.StatusOK
+		} else {
+			w.Header().Set("Location", "/v1/jobs/"+j.ID)
+		}
+		writeJSON(w, status, j.View())
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", retryAfterHeader(time.Second))
+		writeError(w, http.StatusTooManyRequests, ClassTransient, err.Error())
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, ClassTransient, err.Error())
+	default:
+		var oe *overloadedError
+		if errors.As(err, &oe) {
+			w.Header().Set("Retry-After", retryAfterHeader(oe.retryAfter))
+			writeError(w, http.StatusServiceUnavailable, ClassTransient, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, ClassFatal, err.Error())
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []View `json:"jobs"`
+	}{s.jobViews()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, ClassBadRequest, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, ClassBadRequest, "unknown job "+r.PathValue("id"))
+		return
+	}
+	// Idempotent: cancelling a terminal job just reports its state.
+	if j.requestCancel() {
+		writeJSON(w, http.StatusAccepted, j.View())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	// Status is ok, draining or overloaded.
+	Status string `json:"status"`
+	// Queue and workers occupancy.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
+	Inflight int `json:"inflight"`
+	Workers  int `json:"workers"`
+	// Breaker state and, when tripped, the watermark that did it.
+	Breaker       BreakerState `json:"breaker"`
+	BreakerReason string       `json:"breaker_reason,omitempty"`
+	// Counters since start.
+	Submitted       uint64 `json:"submitted"`
+	Replayed        uint64 `json:"replayed"`
+	Done            uint64 `json:"done"`
+	Failed          uint64 `json:"failed"`
+	Canceled        uint64 `json:"canceled"`
+	Retries         uint64 `json:"retries"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	ShedQueueFull   uint64 `json:"shed_queue_full"`
+	ShedBreaker     uint64 `json:"shed_breaker"`
+	ShedDraining    uint64 `json:"shed_draining"`
+	// UptimeSeconds since New.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// health snapshots the server for /healthz (and tests).
+func (s *Server) health() (Health, int) {
+	bstate, breason := s.breaker.Snapshot()
+	h := Health{
+		Status:   "ok",
+		QueueLen: len(s.queue), QueueCap: s.cfg.QueueDepth,
+		Inflight: int(s.inflight.Load()), Workers: s.cfg.Workers,
+		Breaker: bstate, BreakerReason: breason,
+		Submitted: s.metrics.Submitted.Load(), Replayed: s.metrics.Replayed.Load(),
+		Done: s.metrics.Done.Load(), Failed: s.metrics.Failed.Load(),
+		Canceled: s.metrics.Canceled.Load(), Retries: s.metrics.Retries.Load(),
+		PanicsRecovered: s.metrics.PanicsRecovered.Load(),
+		ShedQueueFull:   s.metrics.ShedQueueFull.Load(),
+		ShedBreaker:     s.metrics.ShedBreaker.Load(),
+		ShedDraining:    s.metrics.ShedDraining.Load(),
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+	}
+	status := http.StatusOK
+	switch {
+	case s.Draining():
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case bstate == BreakerOpen:
+		h.Status = "overloaded"
+		status = http.StatusServiceUnavailable
+	}
+	return h, status
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h, status := s.health()
+	writeJSON(w, status, h)
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"civect/internal/trace"
+	"civect/sim"
+)
+
+// Check is one preflight probe's outcome.
+type Check struct {
+	// Name identifies the probe.
+	Name string `json:"name"`
+	// OK reports whether it passed.
+	OK bool `json:"ok"`
+	// Detail is a human line: what was verified, or what failed.
+	Detail string `json:"detail"`
+	// Elapsed is the probe's wall time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Preflight is the doctor-style startup check: it verifies the pieces
+// the daemon depends on actually work in this process and environment
+// before the listener opens — the workload registry resolves and
+// generates, a real smoke session simulates end to end, and the trace
+// directory (when configured) accepts an atomic journal. ciserve runs
+// it at startup (refusing to serve on failure) and exposes it as
+// `ciserve -doctor`.
+func Preflight(ctx context.Context, cfg Config) ([]Check, error) {
+	cfg = cfg.withDefaults()
+	var checks []Check
+	failed := false
+	run := func(name string, probe func() (string, error)) {
+		t0 := time.Now()
+		detail, err := probe()
+		c := Check{Name: name, OK: err == nil, Detail: detail, Elapsed: time.Since(t0)}
+		if err != nil {
+			c.Detail = err.Error()
+			failed = true
+		}
+		checks = append(checks, c)
+	}
+
+	run("workload-registry", func() (string, error) {
+		names := sim.Workloads()
+		if len(names) == 0 {
+			return "", fmt.Errorf("workload registry is empty")
+		}
+		// Resolving one workload per tier proves generation works
+		// without paying for the whole registry's big tier up front.
+		base, big := sim.BaseWorkloads(), sim.BigWorkloads()
+		if len(base) == 0 || len(big) == 0 {
+			return "", fmt.Errorf("registry missing a tier: %d base, %d big", len(base), len(big))
+		}
+		if _, err := sim.Load(base[0]); err != nil {
+			return "", fmt.Errorf("loading %s: %w", base[0], err)
+		}
+		return fmt.Sprintf("%d workloads registered, %s loads", len(names), base[0]), nil
+	})
+
+	run("smoke-session", func() (string, error) {
+		w, err := sim.Load("gcc")
+		if err != nil {
+			return "", err
+		}
+		s, err := sim.New(w, sim.WithMode(sim.CI), sim.WithInstrBudget(2_000))
+		if err != nil {
+			return "", err
+		}
+		res, err := s.Run(ctx)
+		if err != nil {
+			return "", err
+		}
+		if res.Stats.Committed < 2_000 || res.Stats.IPC() <= 0 {
+			return "", fmt.Errorf("smoke session ill-formed: committed=%d ipc=%v",
+				res.Stats.Committed, res.Stats.IPC())
+		}
+		return fmt.Sprintf("gcc/ci simulated %d instrs, IPC %.3f", res.Stats.Committed, res.Stats.IPC()), nil
+	})
+
+	if cfg.TraceDir != "" {
+		run("trace-dir", func() (string, error) {
+			if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+				return "", err
+			}
+			probe := filepath.Join(cfg.TraceDir, "preflight.civt")
+			af, err := trace.NewAtomicFile(probe)
+			if err != nil {
+				return "", err
+			}
+			if _, err := af.Write([]byte("CIVT-preflight")); err != nil {
+				af.Abort()
+				return "", err
+			}
+			if err := af.Commit(); err != nil {
+				return "", err
+			}
+			if err := os.Remove(probe); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s accepts atomic journals", cfg.TraceDir), nil
+		})
+	}
+
+	if failed {
+		return checks, fmt.Errorf("serve: preflight failed")
+	}
+	return checks, nil
+}

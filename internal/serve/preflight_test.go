@@ -1,0 +1,59 @@
+package serve_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"civect/internal/serve"
+)
+
+func TestPreflightPasses(t *testing.T) {
+	dir := t.TempDir()
+	checks, err := serve.Preflight(context.Background(), serve.Config{TraceDir: dir})
+	if err != nil {
+		t.Fatalf("Preflight = %v\nchecks: %+v", err, checks)
+	}
+	want := map[string]bool{"workload-registry": false, "smoke-session": false, "trace-dir": false}
+	for _, c := range checks {
+		if _, known := want[c.Name]; !known {
+			t.Errorf("unexpected check %q", c.Name)
+			continue
+		}
+		want[c.Name] = true
+		if !c.OK {
+			t.Errorf("check %s failed: %s", c.Name, c.Detail)
+		}
+		if c.Detail == "" {
+			t.Errorf("check %s has no detail line", c.Name)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("check %s never ran", name)
+		}
+	}
+	// The trace-dir probe cleans up after itself.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("preflight left %d files in the trace dir", len(entries))
+	}
+}
+
+func TestPreflightSkipsTraceDirWhenUnset(t *testing.T) {
+	checks, err := serve.Preflight(context.Background(), serve.Config{})
+	if err != nil {
+		t.Fatalf("Preflight = %v", err)
+	}
+	for _, c := range checks {
+		if c.Name == "trace-dir" {
+			t.Error("trace-dir probe ran without a configured trace dir")
+		}
+	}
+	if len(checks) != 2 {
+		t.Errorf("ran %d checks, want 2", len(checks))
+	}
+}

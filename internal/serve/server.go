@@ -1,0 +1,563 @@
+// Package serve implements the civect simulation-as-a-service daemon
+// behind cmd/ciserve: an HTTP API that accepts simulation jobs as
+// JSON, runs them on a bounded worker pool over the public civect/sim
+// façade, streams progress over SSE, and serves the results.
+//
+// Production hardening is the point of the package, and every
+// mechanism is explicit:
+//
+//   - admission control: a bounded queue answers 429 + Retry-After
+//     when full, and a circuit breaker sheds load with 503 when
+//     memory, queue-wait or failure watermarks trip
+//   - idempotency: a submission carrying an Idempotency-Key replays
+//     the original job instead of re-simulating
+//   - error taxonomy: every failure is classified bad_request /
+//     transient / canceled / fatal; transients are retried with
+//     backoff, and a recovered worker panic is a per-job error, never
+//     a process crash
+//   - graceful drain: Drain stops admissions (503), lets in-flight
+//     jobs finish — or checkpoints their partial results at the drain
+//     deadline — and only then shuts the listener down
+//   - auditability: a job may attach a cycle-trace journal, written
+//     atomically so the artifact directory never holds a truncated
+//     file
+//
+// Deterministic fault injection for all of the above lives in
+// serve/faultinject; the chaos test in this package drives it.
+//
+// The package deliberately lives outside the simulator's deterministic
+// core: it uses wall-clock time, timers and racing selects freely, and
+// is therefore excluded from the civet nodeterm analyzer's default
+// package set (see internal/lint/nodeterm). Determinism of simulation
+// *results* is untouched — the daemon only orchestrates sessions, and
+// the chaos test asserts byte-identical statistics under full
+// concurrency and fault load.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"civect/internal/serve/faultinject"
+	"civect/internal/trace"
+	"civect/sim"
+)
+
+// Config tunes the daemon. The zero value is usable: every field
+// defaults to the documented value.
+type Config struct {
+	// QueueDepth bounds jobs admitted but not yet running (default 64).
+	// A full queue is backpressure: submissions get 429 + Retry-After.
+	QueueDepth int
+	// Workers bounds concurrently running simulations (default
+	// GOMAXPROCS).
+	Workers int
+	// DefaultInstr is the committed-instruction budget for specs that
+	// leave max_instr zero (default 200k, matching cisim).
+	DefaultInstr uint64
+	// MaxInstrPerJob rejects specs whose budget exceeds it (default
+	// 50M): one client must not be able to park a worker for hours.
+	MaxInstrPerJob uint64
+	// Retry is the transient-failure retry policy (default 3 attempts,
+	// exponential backoff).
+	Retry RetryPolicy
+	// Breaker configures the load-shedding circuit breaker.
+	Breaker BreakerConfig
+	// TraceDir, when set, enables per-job cycle-trace journals: a job
+	// submitted with trace=true gets <TraceDir>/<jobID>.civt, written
+	// atomically on success.
+	TraceDir string
+	// ProgressEvery is the committed-instruction cadence of progress
+	// events (default 25000).
+	ProgressEvery uint64
+	// DrainTimeout bounds how long Drain waits for in-flight jobs
+	// before cancelling them into partial results (default 30s).
+	DrainTimeout time.Duration
+	// Faults enables deterministic fault injection (tests and chaos
+	// drills only; nil in production).
+	Faults *faultinject.Plan
+	// Logf receives operational log lines (default log.Printf; tests
+	// inject t.Logf or a no-op).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultInstr == 0 {
+		c.DefaultInstr = 200_000
+	}
+	if c.MaxInstrPerJob == 0 {
+		c.MaxInstrPerJob = 50_000_000
+	}
+	if c.Retry.MaxAttempts <= 0 {
+		c.Retry = DefaultRetryPolicy()
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 25_000
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Metrics are the server's monotonic operational counters, rendered in
+// /healthz. All fields are atomics; read them with Load.
+type Metrics struct {
+	Submitted       atomic.Uint64 // jobs admitted into the queue
+	Replayed        atomic.Uint64 // idempotent replays served
+	Done            atomic.Uint64 // jobs finished successfully
+	Failed          atomic.Uint64 // jobs finished failed
+	Canceled        atomic.Uint64 // jobs finished canceled
+	Retries         atomic.Uint64 // attempts beyond each job's first
+	PanicsRecovered atomic.Uint64 // worker panics turned into job errors
+	ShedQueueFull   atomic.Uint64 // submissions answered 429
+	ShedBreaker     atomic.Uint64 // submissions answered 503 (breaker)
+	ShedDraining    atomic.Uint64 // submissions answered 503 (drain)
+}
+
+// Server is the daemon: a job registry, a bounded queue, a worker
+// pool and the HTTP handler over them. Create with New, serve
+// Handler(), stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	cfg     Config
+	metrics Metrics
+
+	// rootCtx cancels every running session on forced shutdown.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
+	// admitMu serializes admissions against the drain flip: Drain takes
+	// the write lock to flip draining and close the queue, so no sender
+	// can race the close.
+	admitMu  sync.RWMutex
+	draining bool
+	queue    chan *Job
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+	byKey  map[string]*Job
+	nextID atomic.Uint64
+
+	inflight atomic.Int64
+	breaker  *breaker
+	batch    *sim.Batch
+	workerWG sync.WaitGroup
+	started  time.Time
+}
+
+// New builds and starts a server: workers are running and the handler
+// is ready. It does not listen on a socket — that is the caller's
+// (cmd/ciserve's or httptest's) job.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		rootCtx:    ctx,
+		rootCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+		byKey:      make(map[string]*Job),
+		breaker:    newBreaker(cfg.Breaker, nil),
+		batch:      sim.NewBatch(cfg.Workers),
+		started:    time.Now(),
+	}
+	s.workerWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the server's configuration with defaults applied.
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics exposes the server's counters (primarily for tests; HTTP
+// clients read them via /healthz).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// submit runs the admission pipeline for one resolved job request:
+// drain gate, idempotency replay, breaker, then the bounded queue.
+// The returned replayed flag distinguishes a fresh admission (201)
+// from an idempotent replay (200).
+func (s *Server) submit(spec JobSpec, key string, w *sim.Workload, opts []sim.Option) (j *Job, replayed bool, err error) {
+	// Idempotency first: replaying a known key must work even while
+	// draining or shedding — the client is asking about work already
+	// admitted, not for new work.
+	if key != "" {
+		s.jobsMu.Lock()
+		j = s.byKey[key]
+		s.jobsMu.Unlock()
+		if j != nil {
+			s.metrics.Replayed.Add(1)
+			return j, true, nil
+		}
+	}
+
+	if ok, reason, retryAfter := s.breaker.Allow(); !ok {
+		s.metrics.ShedBreaker.Add(1)
+		return nil, false, &overloadedError{reason: "circuit breaker open: " + reason, retryAfter: retryAfter}
+	}
+
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining {
+		s.metrics.ShedDraining.Add(1)
+		return nil, false, errDraining
+	}
+
+	id := fmt.Sprintf("j%d", s.nextID.Add(1))
+	j = &Job{
+		ID: id, Key: key, Spec: spec, w: w, opts: opts,
+		state: StateQueued, submitted: time.Now(),
+		hub: newHub(), done: make(chan struct{}),
+	}
+
+	s.jobsMu.Lock()
+	if key != "" {
+		// Two racing submissions with the same key: the one that
+		// registered first wins, the loser replays it.
+		if prior := s.byKey[key]; prior != nil {
+			s.jobsMu.Unlock()
+			s.metrics.Replayed.Add(1)
+			return prior, true, nil
+		}
+		s.byKey[key] = j
+	}
+	s.jobs[id] = j
+	s.jobsMu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.metrics.Submitted.Add(1)
+		return j, false, nil
+	default:
+		// Queue full: back out the registration entirely so the client
+		// can retry the same idempotency key later.
+		s.jobsMu.Lock()
+		delete(s.jobs, id)
+		if key != "" && s.byKey[key] == j {
+			delete(s.byKey, key)
+		}
+		s.jobsMu.Unlock()
+		s.metrics.ShedQueueFull.Add(1)
+		return nil, false, errQueueFull
+	}
+}
+
+// job looks up a job by ID.
+func (s *Server) job(id string) *Job {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobs[id]
+}
+
+// jobViews snapshots every job, sorted by numeric ID ("j10" after
+// "j9") so the listing is deterministic.
+func (s *Server) jobViews() []View {
+	s.jobsMu.Lock()
+	views := make([]View, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.View())
+	}
+	s.jobsMu.Unlock()
+	sort.Slice(views, func(a, b int) bool {
+		na, _ := strconv.Atoi(views[a].ID[1:])
+		nb, _ := strconv.Atoi(views[b].ID[1:])
+		return na < nb
+	})
+	return views
+}
+
+// worker drains the queue until it closes (drain) or the root context
+// dies (forced close).
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// errShutdown marks jobs cut short because the server is going away.
+var errShutdown = errors.New("serve: shutting down")
+
+// runJob drives one job through the attempt/retry loop to a terminal
+// state.
+func (s *Server) runJob(j *Job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	s.breaker.ObserveQueueWait(time.Since(j.View().SubmittedAt))
+
+	if s.rootCtx.Err() != nil {
+		j.finish(StateCanceled, nil, errShutdown, ClassCanceled)
+		s.metrics.Canceled.Add(1)
+		s.breaker.ObserveResult(ClassCanceled)
+		return
+	}
+
+	for attempt := 1; ; attempt++ {
+		ctx, cancel := context.WithCancel(s.rootCtx)
+		if !j.setRunning(attempt, cancel) {
+			// Cancelled while queued (or between attempts).
+			cancel()
+			j.finish(StateCanceled, nil, context.Canceled, ClassCanceled)
+			s.metrics.Canceled.Add(1)
+			s.breaker.ObserveResult(ClassCanceled)
+			return
+		}
+		if attempt > 1 {
+			s.metrics.Retries.Add(1)
+		}
+
+		res, err := s.runAttempt(ctx, j, attempt)
+		cancel()
+		if err == nil {
+			j.finish(StateDone, res, nil, "")
+			s.metrics.Done.Add(1)
+			s.breaker.ObserveResult("")
+			return
+		}
+
+		class := Classify(err)
+		var pe *sim.PanicError
+		if errors.As(err, &pe) {
+			s.metrics.PanicsRecovered.Add(1)
+			s.cfg.Logf("serve: job %s attempt %d panicked (recovered): %v", j.ID, attempt, pe.Value)
+		}
+		if class == ClassCanceled {
+			// Keep the partial result: it is a well-formed checkpoint of
+			// everything simulated before the cut.
+			j.finish(StateCanceled, res, err, ClassCanceled)
+			s.metrics.Canceled.Add(1)
+			s.breaker.ObserveResult(ClassCanceled)
+			return
+		}
+		if backoff, retry := s.cfg.Retry.shouldRetry(class, attempt); retry {
+			s.cfg.Logf("serve: job %s attempt %d failed (%s), retrying in %v: %v",
+				j.ID, attempt, class, backoff, err)
+			select {
+			case <-time.After(backoff):
+				continue
+			case <-s.rootCtx.Done():
+				j.finish(StateCanceled, nil, errShutdown, ClassCanceled)
+				s.metrics.Canceled.Add(1)
+				s.breaker.ObserveResult(ClassCanceled)
+				return
+			}
+		}
+		s.cfg.Logf("serve: job %s failed after %d attempt(s) (%s): %v", j.ID, attempt, class, err)
+		j.finish(StateFailed, nil, err, class)
+		s.metrics.Failed.Add(1)
+		s.breaker.ObserveResult(class)
+		return
+	}
+}
+
+// runAttempt executes one session for the job, wiring in the progress
+// observer, the optional trace journal and the fault injector. On
+// cancellation it returns the partial result with the context error.
+func (s *Server) runAttempt(ctx context.Context, j *Job, attempt int) (*sim.Result, error) {
+	d := s.cfg.Faults.Decide(j.Key+"/"+j.ID, attempt)
+	if d.Sleep > 0 {
+		select {
+		case <-time.After(d.Sleep):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	ctx, cancelSelf := context.WithCancel(ctx)
+	defer cancelSelf()
+	obs := &jobObserver{job: j, attempt: attempt, panicAfter: d.PanicAfter,
+		cancelAfter: d.CancelAfter, cancel: cancelSelf}
+
+	opts := append(append([]sim.Option(nil), j.opts...),
+		sim.WithObserver(obs, s.cfg.ProgressEvery))
+
+	var af *trace.AtomicFile
+	if j.Spec.Trace {
+		path := filepath.Join(s.cfg.TraceDir, j.ID+".civt")
+		var err error
+		af, err = trace.NewAtomicFile(path)
+		if err != nil {
+			return nil, MarkTransient(err)
+		}
+		defer af.Abort() // no-op once committed
+		var tw traceWriter = af
+		if d.TraceFailAfter > 0 {
+			tw = &failingWriter{w: af, failAfter: d.TraceFailAfter}
+		}
+		opts = append(opts, sim.WithTrace(tw))
+		if j.Spec.TraceLevel != "" {
+			lvl, err := sim.ParseTraceLevel(j.Spec.TraceLevel)
+			if err != nil {
+				return nil, markBadRequest(err) // unreachable: resolve validated it
+			}
+			opts = append(opts, sim.WithTraceLevel(lvl))
+		}
+		if j.Spec.TraceFirst != 0 || j.Spec.TraceLast != 0 {
+			opts = append(opts, sim.WithTraceWindow(j.Spec.TraceFirst, j.Spec.TraceLast))
+		}
+	}
+
+	res, err := s.batch.Run(ctx, j.w, opts...)
+	if err != nil {
+		if res != nil && !res.Partial {
+			// The simulation itself completed; only the journal's seal
+			// failed (sim.Session.Run's one complete-result error path).
+			// The artifact is gone but the work is repeatable: transient.
+			return nil, MarkTransient(err)
+		}
+		return res, err
+	}
+	if af != nil {
+		if cerr := af.Commit(); cerr != nil {
+			return nil, MarkTransient(cerr)
+		}
+		j.setTracePath(filepath.Join(s.cfg.TraceDir, j.ID+".civt"))
+	}
+	return res, nil
+}
+
+// Drain gracefully shuts the job layer down: new submissions are
+// refused with 503, queued and in-flight jobs get until the configured
+// DrainTimeout (or ctx's deadline, whichever is sooner) to finish, and
+// whatever is still running at the deadline is cancelled so each such
+// job checkpoints a well-formed partial result. Drain returns nil if
+// everything finished on its own, or ctx/deadline errors when jobs had
+// to be cut; either way the workers have exited when it returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.admitMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // safe: admissions hold admitMu.RLock
+	}
+	s.admitMu.Unlock()
+
+	workersDone := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(workersDone)
+	}()
+
+	timeout := time.NewTimer(s.cfg.DrainTimeout)
+	defer timeout.Stop()
+	var cutErr error
+	select {
+	case <-workersDone:
+	case <-ctx.Done():
+		cutErr = ctx.Err()
+	case <-timeout.C:
+		cutErr = fmt.Errorf("serve: drain timeout %v elapsed", s.cfg.DrainTimeout)
+	}
+	if cutErr != nil {
+		// Deadline: cancel every in-flight session. They stop at the
+		// next cycle boundary and finish as canceled with partial
+		// results; the workers then exit on the closed queue.
+		s.rootCancel()
+		<-workersDone
+	}
+	return cutErr
+}
+
+// Close force-stops the server: running sessions are cancelled and the
+// workers drained. For a graceful stop use Drain.
+func (s *Server) Close() {
+	s.admitMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.admitMu.Unlock()
+	s.rootCancel()
+	s.workerWG.Wait()
+}
+
+// jobObserver is the per-attempt sim.Observer: it coalesces the commit
+// batch taps into counters and publishes a progress event at the
+// registered cadence. The fault injector's panic and mid-run-cancel
+// sites piggyback on it, so an injected worker panic originates
+// exactly where a buggy user observer would.
+type jobObserver struct {
+	job     *Job
+	attempt int
+
+	committedBatches uint64
+	reused           uint64
+	jumps            uint64
+
+	panicAfter  uint64
+	cancelAfter uint64
+	cancel      context.CancelFunc
+}
+
+// OnCommitBatch implements sim.Observer.
+func (o *jobObserver) OnCommitBatch(cycle uint64, committed, reused int) {
+	o.committedBatches++
+	o.reused += uint64(reused)
+}
+
+// OnCycleJump implements sim.Observer.
+func (o *jobObserver) OnCycleJump(from, to uint64) { o.jumps++ }
+
+// OnProgress implements sim.Observer.
+func (o *jobObserver) OnProgress(cycle, committed uint64) {
+	if o.panicAfter > 0 && committed >= o.panicAfter {
+		panic(fmt.Sprintf("faultinject: worker panic at %d committed", committed))
+	}
+	if o.cancelAfter > 0 && committed >= o.cancelAfter {
+		o.cancelAfter = 0
+		o.cancel()
+	}
+	o.job.hub.publish(Event{Type: EventProgress, Data: Progress{
+		Cycle: cycle, Committed: committed, Reused: o.reused,
+		CommitBatches: o.committedBatches, Jumps: o.jumps, Attempt: o.attempt,
+	}})
+}
+
+// traceWriter is the io.Writer subset the trace sink needs; named so
+// the failing wrapper reads clearly.
+type traceWriter interface{ Write([]byte) (int, error) }
+
+// failingWriter injects a trace-write failure after failAfter bytes.
+type failingWriter struct {
+	w         traceWriter
+	written   int
+	failAfter int
+}
+
+var errInjectedTraceWrite = MarkTransient(errors.New("faultinject: injected trace write failure"))
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.written >= f.failAfter {
+		return 0, errInjectedTraceWrite
+	}
+	f.written += len(p)
+	return f.w.Write(p)
+}

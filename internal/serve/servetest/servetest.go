@@ -1,0 +1,75 @@
+// Package servetest holds the shared harness for internal/serve's
+// tests: a goroutine-leak check applied to every server test and a
+// one-call Start helper that wires a serve.Server into httptest with
+// teardown registered. It generalizes the leak-check idiom from
+// sim/cancel_test.go so every test that starts a server — or a client
+// that disconnects mid-SSE — proves it left no goroutines behind.
+package servetest
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"civect/internal/serve"
+)
+
+// leakTolerance absorbs runtime-owned goroutines (GC workers, netpoll)
+// that come and go independently of the code under test.
+const leakTolerance = 2
+
+// leakSettle bounds how long the check waits for goroutines that are
+// legitimately winding down (closed connections, worker exits) before
+// declaring a leak.
+const leakSettle = 5 * time.Second
+
+// Goroutines samples the goroutine count with a little settling time.
+func Goroutines() int {
+	for i := 0; i < 10; i++ {
+		runtime.Gosched()
+	}
+	return runtime.NumGoroutine()
+}
+
+// CheckLeaks records the current goroutine count and registers a
+// cleanup that fails the test if, after everything else torn down, the
+// count has not settled back. Call it first in a test so the cleanup
+// runs last (cleanups are LIFO) — after the server and any clients
+// have been shut down.
+func CheckLeaks(t *testing.T) {
+	t.Helper()
+	before := Goroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettle)
+		after := Goroutines()
+		for after > before+leakTolerance && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			after = Goroutines()
+		}
+		if after > before+leakTolerance {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutines leaked: %d before, %d after\n%s", before, after, buf[:n])
+		}
+	})
+}
+
+// Start builds a serve.Server from cfg, serves its handler over
+// httptest, and registers teardown (HTTP server first, then a forced
+// serve.Server close) plus the goroutine-leak check. Logf defaults to
+// t.Logf so operational lines land in the test log.
+func Start(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	CheckLeaks(t)
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}

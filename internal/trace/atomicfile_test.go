@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"civect/internal/core"
+)
+
+// leftovers lists dir entries, failing the test on I/O errors.
+func leftovers(t *testing.T, dir string) []string {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, de := range des {
+		names = append(names, de.Name())
+	}
+	return names
+}
+
+// TestAtomicFileCommit: after Commit the destination holds exactly the
+// written bytes and no temp residue remains.
+func TestAtomicFileCommit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.civt")
+	af, err := NewAtomicFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer af.Abort()
+	if _, err := af.Write([]byte("sealed journal bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Until Commit, the destination must not exist: a reader polling the
+	// path can never observe a half-written journal.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("destination exists before Commit (stat err %v)", err)
+	}
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "sealed journal bytes" {
+		t.Errorf("published bytes %q", got)
+	}
+	if names := leftovers(t, dir); len(names) != 1 || names[0] != "run.civt" {
+		t.Errorf("directory holds %v, want only the published journal", names)
+	}
+	// The deferred Abort after a Commit must be a no-op.
+	af.Abort()
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("Abort after Commit removed the published journal: %v", err)
+	}
+}
+
+// TestAtomicFileAbort: aborting mid-record — the crash/cancellation
+// path — leaves the directory empty: no destination, no temp file.
+func TestAtomicFileAbort(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.civt")
+	af, err := NewAtomicFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := af.Write([]byte("partial, never sealed")); err != nil {
+		t.Fatal(err)
+	}
+	af.Abort()
+	if names := leftovers(t, dir); len(names) != 0 {
+		t.Errorf("abort left %v behind, want an empty directory", names)
+	}
+	if _, err := af.Write([]byte("x")); err == nil {
+		t.Error("Write after Abort succeeded")
+	}
+	if err := af.Commit(); err == nil {
+		t.Error("Commit after Abort succeeded")
+	}
+}
+
+// TestAtomicFileCancelledRecording drives a real Recorder into an
+// AtomicFile and abandons it mid-journal, the way a cancelled
+// `citrace record` or a shed server job does: the destination path must
+// not come into existence, and nothing may be left in the directory.
+func TestAtomicFileCancelledRecording(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cancelled.civt")
+	af, err := NewAtomicFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(af, LevelPipeline, Meta{Workload: "gcc", Mode: core.ModeCI})
+	for c := uint64(1); c <= 50_000; c++ {
+		rec.OnTraceFetch(c, int32(c%512)) // enough to flush several blocks
+	}
+	// No rec.Close(): the journal is unsealed (no trailer), exactly what
+	// a mid-run cancellation leaves. Abort discards it.
+	af.Abort()
+	if names := leftovers(t, dir); len(names) != 0 {
+		t.Errorf("cancelled recording left %v behind, want nothing", names)
+	}
+}

@@ -2,7 +2,9 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -34,11 +36,31 @@ func (b *Batch) Workers() int { return cap(b.sem) }
 // simultaneously on this batch (never above Workers).
 func (b *Batch) MaxConcurrent() int { return int(b.peak.Load()) }
 
+// PanicError is the per-job error a Batch returns when building or
+// running a session panicked (for example in a user-supplied Observer
+// hook): the panic is recovered inside the batch so one bad job cannot
+// crash the process or the other jobs sharing the pool.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace, captured at
+	// recovery.
+	Stack []byte
+}
+
+// Error renders the panic value; the full stack is available via Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: session panicked: %v", e.Value)
+}
+
 // Run builds and runs one session within the batch's concurrency
 // bound, blocking until a worker slot frees up (or ctx is cancelled
 // while waiting). Semantics match Session.Run: on mid-run cancellation
-// it returns the partial Result together with ctx.Err().
-func (b *Batch) Run(ctx context.Context, w *Workload, opts ...Option) (*Result, error) {
+// it returns the partial Result together with ctx.Err(). A panic while
+// building or running the session — including one raised by an
+// Observer hook — is recovered and returned as a *PanicError instead
+// of crashing the process.
+func (b *Batch) Run(ctx context.Context, w *Workload, opts ...Option) (res *Result, err error) {
 	select {
 	case b.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -53,6 +75,11 @@ func (b *Batch) Run(ctx context.Context, w *Workload, opts ...Option) (*Result, 
 			break
 		}
 	}
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
 	s, err := New(w, opts...)
 	if err != nil {
 		return nil, err

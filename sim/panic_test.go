@@ -1,0 +1,97 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"civect/sim"
+)
+
+// panicObserver panics once enough instructions have committed: the
+// deterministic stand-in for a buggy user hook (or an injected worker
+// fault) blowing up inside a running session.
+type panicObserver struct{ after uint64 }
+
+func (o *panicObserver) OnCommitBatch(cycle uint64, committed, reused int) {}
+func (o *panicObserver) OnCycleJump(from, to uint64)                       {}
+func (o *panicObserver) OnProgress(cycle, committed uint64) {
+	if committed >= o.after {
+		panic("observer exploded")
+	}
+}
+
+// TestBatchRecoversPanic: a job that panics mid-run must come back as a
+// per-job *PanicError — panic value and stack included — while the jobs
+// sharing the pool finish normally and the process survives.
+func TestBatchRecoversPanic(t *testing.T) {
+	b := sim.NewBatch(2)
+	w := mustLoad(t, "gcc")
+
+	_, err := b.Run(context.Background(), w,
+		sim.WithMode(sim.CI),
+		sim.WithInstrBudget(50_000),
+		sim.WithObserver(&panicObserver{after: 1_000}, 500),
+	)
+	if err == nil {
+		t.Fatal("panicking job returned nil error")
+	}
+	var pe *sim.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panicking job returned %T (%v), want *sim.PanicError", err, err)
+	}
+	if got := pe.Value; got != "observer exploded" {
+		t.Errorf("PanicError.Value = %v, want the panic value", got)
+	}
+	if !strings.Contains(string(pe.Stack), "OnProgress") {
+		t.Errorf("PanicError.Stack does not show the panicking hook:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "observer exploded") {
+		t.Errorf("Error() = %q, does not name the panic value", err)
+	}
+
+	// The pool is still healthy: a normal job on the same batch runs to
+	// completion.
+	res, err := b.Run(context.Background(), w,
+		sim.WithMode(sim.CI), sim.WithInstrBudget(10_000))
+	if err != nil {
+		t.Fatalf("healthy job after a panicked one: %v", err)
+	}
+	if res.Partial || res.Stats.Committed < 10_000 {
+		t.Errorf("healthy job incomplete: partial=%v committed=%d", res.Partial, res.Stats.Committed)
+	}
+}
+
+// TestBatchStreamRecoversPanic: a panicking job inside a Stream fan-out
+// fails alone; every other job still delivers its result and the
+// stream closes.
+func TestBatchStreamRecoversPanic(t *testing.T) {
+	b := sim.NewBatch(2)
+	jobs := []sim.Job{
+		{Workload: "gcc", Tag: "ok-1", Options: []sim.Option{sim.WithMode(sim.CI), sim.WithInstrBudget(5_000)}},
+		{Workload: "gcc", Tag: "boom", Options: []sim.Option{
+			sim.WithMode(sim.CI),
+			sim.WithInstrBudget(50_000),
+			sim.WithObserver(&panicObserver{after: 1_000}, 500),
+		}},
+		{Workload: "gzip", Tag: "ok-2", Options: []sim.Option{sim.WithMode(sim.CI), sim.WithInstrBudget(5_000)}},
+	}
+	got := map[string]sim.BatchResult{}
+	for r := range b.Stream(context.Background(), jobs) {
+		got[r.Job.Tag] = r
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("stream delivered %d outcomes, want %d", len(got), len(jobs))
+	}
+	var pe *sim.PanicError
+	if !errors.As(got["boom"].Err, &pe) {
+		t.Errorf("panicking job: err = %v, want *sim.PanicError", got["boom"].Err)
+	}
+	for _, tag := range []string{"ok-1", "ok-2"} {
+		r := got[tag]
+		if r.Err != nil || r.Result == nil || r.Result.Partial {
+			t.Errorf("%s: err=%v result=%v — a neighbour's panic must not fail this job", tag, r.Err, r.Result)
+		}
+	}
+}
