@@ -133,11 +133,69 @@ func measureIssueStage() (sim.BenchResult, error) {
 	}, nil
 }
 
+// measureBatchedSweep times a five-mode sweep of one workload run as a
+// single batched sim.Set (width lanes in lockstep over the shared
+// program): the throughput of the path ciexp's prefetch takes, as
+// opposed to the per-session rows above. The row's stats are the
+// aggregate over all five lanes; cigate's exact-match check pins the
+// batched engine's semantics along with its speed.
+func measureBatchedSweep(bench string, instr uint64, width int) (sim.BenchResult, error) {
+	w, err := sim.Load(bench)
+	if err != nil {
+		return sim.BenchResult{}, err
+	}
+	points := make([]sim.PointOpts, len(sim.Modes()))
+	for i, m := range sim.Modes() {
+		points[i] = sim.PointOpts{sim.WithMode(m), sim.WithInstrBudget(instr)}
+	}
+	var committed, reuseHits, cycles uint64
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			set, err := sim.NewSet(w, points...)
+			if err != nil {
+				runErr = err
+				return
+			}
+			set.Width = width
+			set.Workers = 1
+			results, err := set.Run(context.Background())
+			if err != nil {
+				runErr = err
+				return
+			}
+			committed, reuseHits, cycles = 0, 0, 0
+			for _, res := range results {
+				committed += res.Stats.Committed
+				reuseHits += res.Stats.CommittedReuse
+				cycles += res.Stats.Cycles
+			}
+		}
+	})
+	if runErr != nil {
+		return sim.BenchResult{}, fmt.Errorf("batched sweep %s: %w", bench, runErr)
+	}
+	ns := br.NsPerOp()
+	return sim.BenchResult{
+		Mode:            "sweep",
+		Bench:           bench,
+		Instr:           committed,
+		NsPerOp:         ns,
+		SimInstrsPerSec: float64(committed) / (float64(ns) * 1e-9),
+		BytesPerOp:      br.AllocedBytesPerOp(),
+		AllocsPerOp:     br.AllocsPerOp(),
+		IPC:             float64(committed) / float64(cycles),
+		ReuseFraction:   float64(reuseHits) / float64(committed),
+	}, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output path ('-' for stdout)")
 	bench := flag.String("bench", "gcc,gcc.big,mcf.big", "comma-separated benchmark workloads (both tiers allowed)")
 	instr := flag.Uint64("instr", 30_000, "committed-instruction budget per simulation")
 	micro := flag.Bool("micro", true, "include the issue-stage scheduler microbenchmark row")
+	batch := flag.Int("batch", 0, "lockstep width of the batched-sweep row (0 auto, 1 sequential)")
 	flag.Parse()
 
 	var results []sim.BenchResult
@@ -155,6 +213,17 @@ func main() {
 	}
 	if *micro {
 		r, err := measureIssueStage()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cibench: %-12s %-6s %8.0f sim-instrs/s  %8d B/op  %5d allocs/op\n",
+			r.Bench, r.Mode, r.SimInstrsPerSec, r.BytesPerOp, r.AllocsPerOp)
+		results = append(results, r)
+	}
+	{
+		first := strings.Split(*bench, ",")[0]
+		r, err := measureBatchedSweep(first, *instr, *batch)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
 			os.Exit(1)

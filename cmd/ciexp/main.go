@@ -44,6 +44,7 @@ func main() {
 	benches := flag.String("benches", "", "comma-separated benchmark subset (default: the selected tier)")
 	tier := flag.String("tier", "base", "benchmark tier: base (the twelve ~3k-instr stand-ins), big (their 100k+-instr variants), or both")
 	workers := flag.Int("workers", 0, "maximum simulations in flight across all experiments (default GOMAXPROCS; 1 fully serializes)")
+	batch := flag.Int("batch", 0, "lockstep batch width for sweep prefetch (0 auto, 1 legacy sequential; results are bit-identical at every width)")
 	shard := flag.String("shard", "", "run only shard k/n of the sweep and emit per-cell JSON for cimerge")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")
@@ -56,7 +57,7 @@ func main() {
 		return
 	}
 
-	opt := harness.Options{MaxInstr: *instr, Workers: *workers}
+	opt := harness.Options{MaxInstr: *instr, Workers: *workers, BatchWidth: *batch}
 	switch *tier {
 	case "base":
 		// The harness default.

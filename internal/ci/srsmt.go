@@ -84,18 +84,20 @@ type Replica struct {
 	DoneAt uint64
 }
 
-// Entry is one SRSMT entry (Figure 6): the replicated instruction, its
-// replica set and consumption cursors, operand identities, the DAEC
-// counter and the address range of load replicas (§2.4.3).
+// TurnHeader is the per-way arbitration fast-path block of an SRSMT
+// entry: everything the worklist turn (replicaTickEvent) reads to
+// decide whether a listed entry has actionable work, packed into a
+// dense side-array parallel to the way array (SoA split). One header
+// is ~3 cache lines smaller than the full Entry, and consecutive ways'
+// headers are adjacent, so the per-cycle walk over the listed entries
+// touches a fraction of the lines the AoS layout cost.
 //
-// Field order is deliberate: the per-cycle arbitration fast path (the
-// worklist turn header and the wakeup bookkeeping) reads the leading
-// block, so it spans the entry's first cache lines; per-validation and
-// per-creation fields follow.
-type Entry struct {
+// Headers are owned by the table: NewSRSMT allocates one per way and
+// each Entry embeds a pointer to its own, fixed for the way's lifetime
+// (field access promotes through the embedding, so pipeline code reads
+// e.ActiveMask exactly as before the split).
+type TurnHeader struct {
 	Valid bool
-	// IsLoad marks load entries (address-sequence replicas).
-	IsLoad bool
 	// SeedCaptured marks an OperandSelf seed value stored (in
 	// Src1/Src2 .Value), SeedBroken that the seed register was
 	// squashed before capture; SeedPhys below is the register watched
@@ -173,6 +175,21 @@ type Entry struct {
 	// Stamp is the creation order of this incarnation — the worklist
 	// arbitration order activateEntry re-inserts at.
 	Stamp uint64
+}
+
+// Entry is one SRSMT entry (Figure 6): the replicated instruction, its
+// replica set and consumption cursors, operand identities, the DAEC
+// counter and the address range of load replicas (§2.4.3).
+//
+// The arbitration fast path (the worklist turn header and the wakeup
+// bookkeeping) lives in the embedded *TurnHeader — a packed side-array
+// owned by the table (SoA split); per-validation and per-creation
+// fields stay in the entry body.
+type Entry struct {
+	*TurnHeader
+
+	// IsLoad marks load entries (address-sequence replicas).
+	IsLoad bool
 
 	Replicas []Replica
 
@@ -220,7 +237,8 @@ type Entry struct {
 // Deallocatable reports whether the entry can be reclaimed: no
 // validation in progress and no replica executing (§2.3.3).
 func (e *Entry) Deallocatable() bool {
-	return e.Decode == e.Commit && e.Issue == 0
+	h := e.TurnHeader
+	return h.Decode == h.Commit && h.Issue == 0
 }
 
 // Slot returns the ring slot for absolute replica index abs, or nil
@@ -249,20 +267,26 @@ func (e *Entry) slotBit(slot *Replica) uint64 {
 // coherent. Every transition out of Waiting/Issued must go through
 // here — hand-rolled bookkeeping at call sites is how they desync.
 func (e *Entry) Settle(slot *Replica, st ReplicaState) {
+	// The header pointer is hoisted into a local here (and in every
+	// other multi-access hot path): a store through *TurnHeader could
+	// alias the embedded pointer field for all the compiler knows, so
+	// without the local every access would reload e.TurnHeader.
+	h := e.TurnHeader
 	slot.State = st
-	e.Pending--
+	h.Pending--
 	b := e.slotBit(slot)
-	e.ActiveMask &^= b
-	e.BlockedMask &^= b
-	e.IssuedMask &^= b
+	h.ActiveMask &^= b
+	h.BlockedMask &^= b
+	h.IssuedMask &^= b
 }
 
 // Block parks a Waiting slot on an operand event: it leaves the
 // scanned ActiveMask until Unblock re-arms it.
 func (e *Entry) Block(slot *Replica) {
+	h := e.TurnHeader
 	b := e.slotBit(slot)
-	e.ActiveMask &^= b
-	e.BlockedMask |= b
+	h.ActiveMask &^= b
+	h.BlockedMask |= b
 }
 
 // MarkIssued records a slot's transition to Issued in the issued mask.
@@ -271,9 +295,10 @@ func (e *Entry) MarkIssued(slot *Replica) { e.IssuedMask |= e.slotBit(slot) }
 // Unblock re-arms every blocked slot for arbitration and returns the
 // mask of slots it moved.
 func (e *Entry) Unblock() uint64 {
-	m := e.BlockedMask
-	e.ActiveMask |= m
-	e.BlockedMask = 0
+	h := e.TurnHeader
+	m := h.BlockedMask
+	h.ActiveMask |= m
+	h.BlockedMask = 0
 	return m
 }
 
@@ -285,7 +310,10 @@ type ConsumerRef struct {
 }
 
 // Live reports whether the chained incarnation still exists.
-func (c ConsumerRef) Live() bool { return c.Ent.Valid && c.Ent.Gen == c.Gen }
+func (c ConsumerRef) Live() bool {
+	h := c.Ent.TurnHeader
+	return h.Valid && h.Gen == c.Gen
+}
 
 // AddConsumer chains consumer c to e's wakeup list. Dead incarnations
 // are compacted once the list grows past the table's worst case, so a
@@ -321,10 +349,11 @@ func (e *Entry) InitRing(n int) {
 	for i := range e.Replicas {
 		e.Replicas[i] = Replica{Abs: -1, Dest: -1}
 	}
-	e.ActiveMask = 0
-	e.BlockedMask = 0
-	e.IssuedMask = 0
-	e.NextDone = 0
+	h := e.TurnHeader
+	h.ActiveMask = 0
+	h.BlockedMask = 0
+	h.IssuedMask = 0
+	h.NextDone = 0
 }
 
 // CoversAddr reports whether addr falls in the entry's replica address
@@ -339,8 +368,11 @@ type SRSMT struct {
 	sets  int
 	assoc int
 	ways  []Entry
-	clock uint64
-	gen   uint64
+	// headers is the ways' packed TurnHeader side-array (SoA split):
+	// headers[i] is ways[i].TurnHeader for the way's whole lifetime.
+	headers []TurnHeader
+	clock   uint64
+	gen     uint64
 	// present is a PC-indexed bitmap of valid entries (creation checks
 	// Lookup first, so a PC maps to at most one way). Lookup consults it
 	// before scanning the set: the pipeline probes the table for every
@@ -364,11 +396,13 @@ func NewSRSMT(sets, assoc int) *SRSMT {
 	}
 	t := &SRSMT{
 		sets: sets, assoc: assoc,
-		ways:  make([]Entry, sets*assoc),
-		valid: make([]uint64, (sets*assoc+63)/64),
+		ways:    make([]Entry, sets*assoc),
+		headers: make([]TurnHeader, sets*assoc),
+		valid:   make([]uint64, (sets*assoc+63)/64),
 	}
 	for i := range t.ways {
 		t.ways[i].way = int32(i)
+		t.ways[i].TurnHeader = &t.headers[i]
 	}
 	return t
 }
@@ -384,10 +418,13 @@ func (t *SRSMT) Lookup(pc uint64) *Entry {
 	if w >= uint64(len(t.present)) || t.present[w]&(1<<(pc&63)) == 0 {
 		return nil
 	}
-	ways := t.set(pc)
-	for i := range ways {
-		if ways[i].Valid && ways[i].PC == pc {
-			return &ways[i]
+	// The validity probe reads the packed header array directly: the
+	// set's headers share a cache line, where the full Entry bodies
+	// span several each.
+	base := (int(pc) & (t.sets - 1)) * t.assoc
+	for i := base; i < base+t.assoc; i++ {
+		if t.headers[i].Valid && t.ways[i].PC == pc {
+			return &t.ways[i]
 		}
 	}
 	return nil
@@ -449,7 +486,9 @@ func (t *SRSMT) Init(e *Entry, pc uint64, in isa.Instr) *Entry {
 	ring := e.Replicas[:0]
 	cons := e.Consumers[:0]
 	way := e.way
-	*e = Entry{Valid: true, PC: pc, Gen: t.gen, Instr: in, way: way, lru: t.clock}
+	hdr := e.TurnHeader
+	*e = Entry{TurnHeader: hdr, PC: pc, Instr: in, way: way, lru: t.clock}
+	*hdr = TurnHeader{Valid: true, Gen: t.gen}
 	e.Replicas = ring
 	e.Consumers = cons
 	t.valid[way>>6] |= 1 << (uint(way) & 63)
@@ -468,7 +507,9 @@ func (t *SRSMT) Invalidate(e *Entry) {
 	ring := e.Replicas[:0]
 	cons := e.Consumers[:0]
 	way := e.way
-	*e = Entry{way: way}
+	hdr := e.TurnHeader
+	*e = Entry{TurnHeader: hdr, way: way}
+	*hdr = TurnHeader{}
 	e.Replicas = ring
 	e.Consumers = cons
 	t.valid[way>>6] &^= 1 << (uint(way) & 63)
@@ -480,8 +521,8 @@ func (t *SRSMT) Invalidate(e *Entry) {
 func (t *SRSMT) ForEachValid(fn func(*Entry) bool) {
 	for w, word := range t.valid {
 		for b := word; b != 0; b &= b - 1 {
-			e := &t.ways[w<<6+bits.TrailingZeros64(b)]
-			if e.Valid && !fn(e) {
+			i := w<<6 + bits.TrailingZeros64(b)
+			if t.headers[i].Valid && !fn(&t.ways[i]) {
 				return
 			}
 		}
@@ -498,19 +539,21 @@ func (t *SRSMT) ForEachValid(fn func(*Entry) bool) {
 func (t *SRSMT) OnRecovery(countDAEC bool, dead func(*Entry)) {
 	for w, word := range t.valid {
 		for b := word; b != 0; b &= b - 1 {
-			e := &t.ways[w<<6+bits.TrailingZeros64(b)]
-			if !e.Valid {
+			i := w<<6 + bits.TrailingZeros64(b)
+			h := &t.headers[i]
+			if !h.Valid {
 				continue
 			}
+			e := &t.ways[i]
 			if countDAEC {
-				if e.Decode == e.Commit {
+				if h.Decode == h.Commit {
 					e.DAEC++
 				} else {
 					e.DAEC = 0
 				}
 			}
-			e.Decode = e.Commit
-			if e.DAEC >= 2 && e.Issue == 0 {
+			h.Decode = h.Commit
+			if e.DAEC >= 2 && h.Issue == 0 {
 				if dead != nil {
 					dead(e)
 				}

@@ -79,7 +79,7 @@ func TestSRSMTSetConflictAndEviction(t *testing.T) {
 }
 
 func TestDeallocatable(t *testing.T) {
-	e := &Entry{Valid: true}
+	e := &Entry{TurnHeader: &TurnHeader{Valid: true}}
 	if !e.Deallocatable() {
 		t.Error("fresh entry deallocatable")
 	}
@@ -98,7 +98,7 @@ func TestDeallocatable(t *testing.T) {
 }
 
 func TestSlot(t *testing.T) {
-	e := &Entry{Replicas: make([]Replica, 4)}
+	e := &Entry{TurnHeader: &TurnHeader{}, Replicas: make([]Replica, 4)}
 	for i := range e.Replicas {
 		e.Replicas[i].Abs = i
 	}
@@ -116,14 +116,14 @@ func TestSlot(t *testing.T) {
 	if r := e.Slot(5); r == nil || r.Abs != 5 {
 		t.Error("reused slot should resolve for the new index")
 	}
-	empty := &Entry{}
+	empty := &Entry{TurnHeader: &TurnHeader{}}
 	if empty.Slot(0) != nil {
 		t.Error("entry with no replicas has no slots")
 	}
 }
 
 func TestCoversAddr(t *testing.T) {
-	e := &Entry{Valid: true, HasRange: true, RangeLo: 100, RangeHi: 200}
+	e := &Entry{TurnHeader: &TurnHeader{Valid: true}, HasRange: true, RangeLo: 100, RangeHi: 200}
 	if !e.CoversAddr(100) || !e.CoversAddr(150) || !e.CoversAddr(200) {
 		t.Error("range endpoints and interior must be covered")
 	}

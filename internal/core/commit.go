@@ -164,7 +164,8 @@ func (p *Proc) finishCommit(idx int, h *robEntry) {
 	// and tops the batch back up.
 	if p.srsmt != nil {
 		if ent := p.srsmt.Lookup(uint64(h.pc)); ent != nil && h.seq > ent.CreatorSeq {
-			if slot := ent.Slot(ent.Commit); slot != nil && slot.Dest >= 0 &&
+			eh := ent.TurnHeader
+			if slot := ent.Slot(eh.Commit); slot != nil && slot.Dest >= 0 &&
 				slot.State != ci.ReplicaIssued {
 				if p.sm != nil {
 					p.sm.Release(slot.Dest)
@@ -178,7 +179,7 @@ func (p *Proc) finishCommit(idx int, h *robEntry) {
 					p.settleReplica(ent, slot, ci.ReplicaFailed)
 				}
 			}
-			ent.Commit++
+			eh.Commit++
 			p.spawnReplicas(ent)
 			p.activateEntry(ent)
 		}

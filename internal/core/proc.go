@@ -213,15 +213,26 @@ type waitRef struct {
 // pins the listing to the incarnation that was enqueued.
 type entryRef struct {
 	ent *ci.Entry
+	// hdr is ent's turn header, captured at insertion (fixed for the
+	// way's lifetime): the arbitration walk reads its idle/skip fields
+	// straight out of the packed header side-array, one load per field
+	// instead of re-deriving the header pointer through the entry.
+	hdr *ci.TurnHeader
 	gen uint64
 	// stamp snapshots ent.Stamp at insertion; the worklist is kept
 	// sorted by it (see activateEntry).
 	stamp uint64
 }
 
+// refTo builds the worklist listing for ent's current incarnation.
+func refTo(ent *ci.Entry) entryRef {
+	h := ent.TurnHeader
+	return entryRef{ent: ent, hdr: h, gen: h.Gen, stamp: h.Stamp}
+}
+
 // live reports whether the listing still refers to the incarnation it
 // was created for.
-func (r entryRef) live() bool { return r.ent.Valid && r.ent.Gen == r.gen }
+func (r entryRef) live() bool { return r.hdr.Valid && r.hdr.Gen == r.gen }
 
 // Proc is the processor. Create one with New, run with Run.
 type Proc struct {
@@ -407,14 +418,24 @@ type Proc struct {
 }
 
 // New builds a processor over prog and data memory m (which it owns and
-// mutates at commit). The configuration is validated.
+// mutates at commit). The configuration is validated. Sweeps running
+// many configurations over one program share the decode work instead:
+// ShareProgram once, then NewShared (or BatchProc) per lane.
 func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
+	sp, err := ShareProgram(prog)
+	if err != nil {
+		return nil, err
+	}
+	return build(cfg, sp, m)
+}
+
+// build assembles a processor from a validated shared program; New and
+// NewShared both land here.
+func build(cfg Config, sp *SharedProgram, m *mem.Memory) (*Proc, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := prog.Validate(); err != nil {
-		return nil, err
-	}
+	prog := sp.prog
 	if m == nil {
 		m = mem.New()
 	}
@@ -425,7 +446,7 @@ func New(cfg Config, prog *isa.Program, m *mem.Memory) (*Proc, error) {
 	p := &Proc{
 		cfg:   cfg,
 		prog:  prog,
-		imeta: predecode(prog),
+		imeta: sp.imeta,
 		mem:   m,
 		rf:    regfile.NewFile(cfg.PhysRegs),
 		rob:   make([]robEntry, cfg.WindowSize),
@@ -513,47 +534,24 @@ const ctxCheckInterval = 1024
 // together with ctx.Err(), so callers can report work done before the
 // cut; every other error returns nil stats as Run does.
 func (p *Proc) RunContext(ctx context.Context) (*Stats, error) {
-	done := ctx.Done()
 	maxCycles := p.cfg.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = 200_000_000
 	}
-	lastCommit := uint64(0)
-	lastCommitCycle := uint64(0)
-	ctxCheck := ctxCheckInterval
-	for !p.halted {
-		if p.cfg.MaxInstr > 0 && p.Stats.Committed >= p.cfg.MaxInstr {
-			break
-		}
-		if p.cycle >= maxCycles {
-			return nil, fmt.Errorf("core: cycle bound %d exceeded (committed %d)", maxCycles, p.Stats.Committed)
-		}
-		if done != nil {
-			if ctxCheck--; ctxCheck <= 0 {
-				ctxCheck = ctxCheckInterval
-				select {
-				case <-done:
-					p.closeEpisode()
-					p.finalizeStats()
-					return &p.Stats, ctx.Err()
-				default:
-				}
-			}
-		}
-		p.step()
-		// Forward-progress watchdog: a stuck pipeline is a simulator
-		// bug; fail loudly instead of spinning.
-		if p.Stats.Committed != lastCommit {
-			lastCommit = p.Stats.Committed
-			lastCommitCycle = p.cycle
-		} else if p.cycle-lastCommitCycle > 500_000 {
-			return nil, fmt.Errorf("core: no commit progress for 500k cycles at cycle %d (mode %v, head state %v)",
-				p.cycle, p.cfg.Mode, p.headState())
-		}
+	// One-lane degenerate batch: the single-configuration run is the
+	// batched engine's fallback path, so the two cannot drift.
+	ls := laneState{
+		p: p, maxCycles: maxCycles, ctxCheck: ctxCheckInterval,
+		lastCommit: p.Stats.Committed, lastCommitCycle: p.cycle,
 	}
-	p.closeEpisode()
-	p.finalizeStats()
-	return &p.Stats, nil
+	switch st := ls.stepChunk(^uint64(0), ctx.Done()); st {
+	case laneFinished:
+		return p.Finalize(), nil
+	case laneCanceled:
+		return p.Finalize(), ctx.Err()
+	default:
+		return nil, laneError(&ls, st)
+	}
 }
 
 // Step advances the pipeline by one cycle (a no-op once the program

@@ -72,11 +72,15 @@ func (p *Proc) replicaTickEvent() {
 		if ref.ent == nil {
 			continue // listing retired earlier this tick
 		}
+		// The turn's skip/park decisions read the header through the
+		// listing's own pointer into the packed side-array: one load
+		// per field, adjacent listed ways sharing cache lines.
+		h := ref.hdr
 		if !ref.live() {
 			// Config.EmulateAliasedWorklist: keep the stale listing as
 			// long as the way holds any valid incarnation — the PR 1
 			// aliasing bug this knob re-introduces for trace demos.
-			if !p.aliasEmu || !ref.ent.Valid {
+			if !p.aliasEmu || !h.Valid {
 				p.activeEntries[p.tickIdx].ent = nil
 				retired++
 				continue
@@ -84,25 +88,25 @@ func (p *Proc) replicaTickEvent() {
 		}
 		ent := ref.ent
 		small := len(ent.Replicas) <= 64
-		if ent.Issue == 0 &&
-			(ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0) &&
-			ent.Alloc-ent.Decode >= ent.NRegs {
-			idle := ent.Pending == 0
+		if h.Issue == 0 &&
+			(h.SeedCaptured || h.SeedBroken || h.SeedPhys < 0) &&
+			h.Alloc-h.Decode >= h.NRegs {
+			idle := h.Pending == 0
 			if small {
 				// Blocked slots are wake-covered; only actionable ones
 				// need a listing.
-				idle = ent.ActiveMask == 0
+				idle = h.ActiveMask == 0
 			}
 			if idle {
 				// Hysteresis: entries re-woken every cycle or two (the
 				// steady commit-refill rhythm) keep their listing rather
 				// than paying a sorted re-insertion per wake; only
 				// persistently idle ones park.
-				if ent.Idle < 8 {
-					ent.Idle++
+				if h.Idle < 8 {
+					h.Idle++
 					continue
 				}
-				ent.Listed = false
+				h.Listed = false
 				p.activeEntries[p.tickIdx].ent = nil
 				retired++
 				continue
@@ -110,28 +114,27 @@ func (p *Proc) replicaTickEvent() {
 			if p.issueBudget <= 0 {
 				continue // nothing can issue; keep the listing
 			}
-		} else if small && p.cycle < ent.NextDone &&
-			ent.ActiveMask&^ent.IssuedMask == 0 &&
-			(ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0) &&
-			ent.Alloc-ent.Decode >= ent.NRegs {
+		} else if small && p.cycle < h.NextDone &&
+			h.ActiveMask&^h.IssuedMask == 0 &&
+			(h.SeedCaptured || h.SeedBroken || h.SeedPhys < 0) &&
+			h.Alloc-h.Decode >= h.NRegs {
 			// Only in-flight executions remain and none retires yet:
 			// every turn until NextDone would poll DoneAt and do
 			// nothing else (NextDone never over-estimates). Sleep on
 			// the completion wheel when its horizon covers the wait;
 			// an intervening operand wake re-lists the entry early and
 			// the then-redundant wheel wake is a no-op.
-			if ent.NextDone-p.cycle < wheelSpan {
-				ent.Listed = false
+			if h.NextDone-p.cycle < wheelSpan {
+				h.Listed = false
 				p.activeEntries[p.tickIdx].ent = nil
 				retired++
-				b := ent.NextDone & (wheelSpan - 1)
-				p.doneWheel[b] = append(p.doneWheel[b],
-					entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp})
+				b := h.NextDone & (wheelSpan - 1)
+				p.doneWheel[b] = append(p.doneWheel[b], ref)
 				p.wheelOcc[b>>6] |= 1 << (b & 63)
 			}
 			continue
 		}
-		ent.Idle = 0
+		h.Idle = 0
 		if p.captureSeed(ent) {
 			p.unblockEntry(ent)
 		}
@@ -139,7 +142,7 @@ func (p *Proc) replicaTickEvent() {
 			p.scanEnt, p.scanVisited = ent, 0
 			p.turnNextDone = ^uint64(0)
 			for {
-				m := ent.ActiveMask &^ p.scanVisited
+				m := h.ActiveMask &^ p.scanVisited
 				if m == 0 {
 					break
 				}
@@ -149,7 +152,7 @@ func (p *Proc) replicaTickEvent() {
 				p.replicaSlotTick(ent, &ent.Replicas[j])
 			}
 			p.scanEnt = nil
-			ent.NextDone = p.turnNextDone
+			h.NextDone = p.turnNextDone
 		} else {
 			for i := range ent.Replicas {
 				if ent.Replicas[i].Abs < 0 {
@@ -158,7 +161,7 @@ func (p *Proc) replicaTickEvent() {
 				p.replicaSlotTick(ent, &ent.Replicas[i])
 			}
 		}
-		if needSpawn(ent) {
+		if h.Alloc-h.Decode < h.NRegs {
 			p.spawnReplicas(ent)
 		}
 	}
@@ -181,7 +184,8 @@ func (p *Proc) settleReplica(ent *ci.Entry, slot *ci.Replica, st ci.ReplicaState
 	ent.Settle(slot, st)
 	if p.eventSched {
 		// Inline fast paths: most settles find nothing parked on them.
-		if ent.BlockedMask != 0 || !ent.Listed {
+		h := ent.TurnHeader
+		if h.BlockedMask != 0 || !h.Listed {
 			p.unblockEntry(ent)
 		}
 		if len(ent.Consumers) != 0 {

@@ -30,6 +30,7 @@ const (
 // tryValidate checks a fetched instruction against its SRSMT entry and,
 // on success, consumes the next replica (advancing the Decode cursor).
 func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResult {
+	h := ent.TurnHeader
 	in := e.in
 	if ent.Instr != in {
 		// Different instruction aliased into the same PC slot (cannot
@@ -59,7 +60,7 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 				prod := p.srsmt.Lookup(refs[i].PC)
 				if int64(snap[i].writerPC) != int64(refs[i].PC) ||
 					prod == nil || prod.Gen != refs[i].Gen ||
-					prod.Decode != refs[i].Base+ent.Decode+1 {
+					prod.Decode != refs[i].Base+h.Decode+1 {
 					p.Stats.ValFailVec++
 					return valFail
 				}
@@ -84,8 +85,8 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 			}
 		}
 	}
-	slot := ent.Slot(ent.Decode)
-	if slot == nil && ent.Alloc-ent.Decode >= len(ent.Replicas) {
+	slot := ent.Slot(h.Decode)
+	if slot == nil && h.Alloc-h.Decode >= len(ent.Replicas) {
 		// The cursor is stranded: recovery rollbacks have pushed it so
 		// far behind the allocation frontier that its ring slot has
 		// been recycled, and with the frontier this far ahead it can
@@ -100,13 +101,13 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 		// execute normally but keep the cursor aligned with the
 		// instance stream. (An unissued replica's storage is reclaimed
 		// when the commit cursor passes it.)
-		ent.Decode++
+		h.Decode++
 		p.srsmt.Touch(ent)
 		p.activateEntry(ent)
 		p.Stats.ValNoReplica++
 		if debugTrace {
 			//civet:allow hotalloc trace formatting only runs when CIVECT_TRACE is set; production runs never reach it
-			fmt.Fprintf(os.Stderr, "[%d] noreplica pc=%d decode=%d alloc=%d commit=%d\n", p.cycle, e.pc, ent.Decode-1, ent.Alloc, ent.Commit)
+			fmt.Fprintf(os.Stderr, "[%d] noreplica pc=%d decode=%d alloc=%d commit=%d\n", p.cycle, e.pc, h.Decode-1, h.Alloc, h.Commit)
 		}
 		return valNoReplica
 	}
@@ -116,9 +117,9 @@ func (p *Proc) tryValidate(e *robEntry, ent *ci.Entry, snap []renEntry) valResul
 	}
 	e.validated = true
 	e.valEntry = ent
-	e.valGen = ent.Gen
-	e.valIdx = int32(ent.Decode)
-	ent.Decode++
+	e.valGen = h.Gen
+	e.valIdx = int32(h.Decode)
+	h.Decode++
 	p.srsmt.Touch(ent)
 	p.spawnReplicas(ent)
 	p.activateEntry(ent)
@@ -181,9 +182,10 @@ func (p *Proc) maybeVectorizeLoad(pc int, in isa.Instr, addr uint64, creatorSeq 
 // list sorted).
 func (p *Proc) enlistNew(ent *ci.Entry) {
 	p.entryStamp++
-	ent.Stamp = p.entryStamp
-	ent.Listed = true
-	p.activeEntries = append(p.activeEntries, entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp})
+	h := ent.TurnHeader
+	h.Stamp = p.entryStamp
+	h.Listed = true
+	p.activeEntries = append(p.activeEntries, refTo(ent))
 }
 
 // activateEntry re-inserts a parked entry into the worklist at its
@@ -203,12 +205,13 @@ func (p *Proc) activateEntry(ent *ci.Entry) {
 
 // listEntry is activateEntry's insertion slow path.
 func (p *Proc) listEntry(ent *ci.Entry) {
-	ent.Listed = true
-	ent.Idle = 0
+	h := ent.TurnHeader
+	h.Listed = true
+	h.Idle = 0
 	i, j := 0, len(p.activeEntries)
 	for i < j {
 		m := (i + j) / 2
-		if p.activeEntries[m].stamp < ent.Stamp {
+		if p.activeEntries[m].stamp < h.Stamp {
 			i = m + 1
 		} else {
 			j = m
@@ -216,7 +219,7 @@ func (p *Proc) listEntry(ent *ci.Entry) {
 	}
 	p.activeEntries = append(p.activeEntries, entryRef{})
 	copy(p.activeEntries[i+1:], p.activeEntries[i:])
-	p.activeEntries[i] = entryRef{ent: ent, gen: ent.Gen, stamp: ent.Stamp}
+	p.activeEntries[i] = refTo(ent)
 	if p.inTick && i <= p.tickIdx {
 		p.tickIdx++
 	}
@@ -327,7 +330,7 @@ func (p *Proc) maybeVectorizeArith(pc int, in isa.Instr, snap []renEntry, destPh
 			ent.SeedCaptured = true
 		} else {
 			ent.SeedPhys = seedPhys
-			p.seedWatch = append(p.seedWatch, entryRef{ent: ent, gen: ent.Gen})
+			p.seedWatch = append(p.seedWatch, refTo(ent))
 		}
 	} else {
 		ent.SeedCaptured = true
@@ -346,7 +349,10 @@ func (p *Proc) initReplicaRing(ent *ci.Entry) {
 // needSpawn reports whether the batch is below its batch-ahead bound
 // (the cheap guard call sites use before paying for spawnReplicas; the
 // Alloc<Decode case is the cursor fixup spawnReplicas performs).
-func needSpawn(ent *ci.Entry) bool { return ent.Alloc-ent.Decode < ent.NRegs }
+func needSpawn(ent *ci.Entry) bool {
+	h := ent.TurnHeader
+	return h.Alloc-h.Decode < h.NRegs
+}
 
 // spawnReplicas allocates replica instances up to the batch-ahead bound
 // (NRegs past the Decode cursor), storage permitting. "In the case that
@@ -358,9 +364,10 @@ func needSpawn(ent *ci.Entry) bool { return ent.Alloc-ent.Decode < ent.NRegs }
 // overwrite, and a validation that finds its slot recycled simply falls
 // back to normal execution.
 func (p *Proc) spawnReplicas(ent *ci.Entry) {
-	allocBefore := ent.Alloc
-	if ent.Alloc < ent.Decode {
-		ent.Alloc = ent.Decode
+	h := ent.TurnHeader
+	allocBefore := h.Alloc
+	if h.Alloc < h.Decode {
+		h.Alloc = h.Decode
 	}
 	p.fillBatch(ent)
 	// An allocation-frontier move changes what blocked replicas would
@@ -369,7 +376,7 @@ func (p *Proc) spawnReplicas(ent *ci.Entry) {
 	// recurrence chain may be parked on a predecessor slot that was
 	// just overwritten. Re-arm both — including when fillBatch bailed
 	// out on exhausted storage after a partial spawn.
-	if ent.Alloc != allocBefore && p.eventSched {
+	if h.Alloc != allocBefore && p.eventSched {
 		p.unblockEntry(ent)
 		p.wakeConsumers(ent)
 	}
@@ -378,7 +385,8 @@ func (p *Proc) spawnReplicas(ent *ci.Entry) {
 // fillBatch allocates replicas up to the batch-ahead bound, stopping
 // early when replica storage runs out.
 func (p *Proc) fillBatch(ent *ci.Entry) {
-	for ent.Alloc-ent.Decode < ent.NRegs {
+	h := ent.TurnHeader
+	for h.Alloc-h.Decode < h.NRegs {
 		var dest int
 		if p.sm != nil {
 			d, ok := p.sm.Alloc()
@@ -396,7 +404,7 @@ func (p *Proc) fillBatch(ent *ci.Entry) {
 			}
 			dest = d
 		}
-		slot := &ent.Replicas[ent.Alloc&(len(ent.Replicas)-1)]
+		slot := &ent.Replicas[h.Alloc&(len(ent.Replicas)-1)]
 		// The ring slot may still hold a stale pre-Commit replica
 		// (e.g. one skipped by the Decode cursor): release its
 		// resources before reuse.
@@ -408,23 +416,23 @@ func (p *Proc) fillBatch(ent *ci.Entry) {
 			}
 		}
 		if slot.State == ci.ReplicaIssued {
-			ent.Issue--
+			h.Issue--
 			// NextDone may now under-estimate; that only costs a scan.
-			ent.IssuedMask &^= 1 << (uint(ent.Alloc) & uint(len(ent.Replicas)-1) & 63)
+			h.IssuedMask &^= 1 << (uint(h.Alloc) & uint(len(ent.Replicas)-1) & 63)
 		}
 		// The new occupant is Waiting; count it unless the old occupant
 		// was already Waiting/Issued (unused slots have Abs < 0).
 		if slot.Abs < 0 || slot.State == ci.ReplicaDone || slot.State == ci.ReplicaFailed {
-			ent.Pending++
+			h.Pending++
 		}
 		// The new occupant is actionable: arm its bit and clear any
 		// blocked listing the overwritten slot left behind.
-		bit := uint64(1) << (uint(ent.Alloc) & uint(len(ent.Replicas)-1) & 63)
-		ent.ActiveMask |= bit
-		ent.BlockedMask &^= bit
-		*slot = ci.Replica{State: ci.ReplicaWaiting, Abs: ent.Alloc, Dest: dest}
+		bit := uint64(1) << (uint(h.Alloc) & uint(len(ent.Replicas)-1) & 63)
+		h.ActiveMask |= bit
+		h.BlockedMask &^= bit
+		*slot = ci.Replica{State: ci.ReplicaWaiting, Abs: h.Alloc, Dest: dest}
 		if ent.IsLoad {
-			slot.Addr = ent.BatchBase + uint64(ent.Stride*int64(ent.Alloc+1))
+			slot.Addr = ent.BatchBase + uint64(ent.Stride*int64(h.Alloc+1))
 			if !ent.HasRange {
 				ent.HasRange = true
 				ent.RangeLo, ent.RangeHi = slot.Addr, slot.Addr
@@ -437,7 +445,7 @@ func (p *Proc) fillBatch(ent *ci.Entry) {
 				}
 			}
 		}
-		ent.Alloc++
+		h.Alloc++
 		p.Stats.ReplicasDispatched++
 	}
 }
@@ -463,7 +471,8 @@ func (p *Proc) reclaimIdleEntries() {
 // releaseEntryStorage frees the register-file registers or speculative
 // memory positions still owned by an entry's replicas.
 func (p *Proc) releaseEntryStorage(ent *ci.Entry) {
-	for abs := ent.Commit; abs < ent.Alloc; abs++ {
+	h := ent.TurnHeader
+	for abs := h.Commit; abs < h.Alloc; abs++ {
 		slot := ent.Slot(abs)
 		if slot == nil || slot.Dest < 0 {
 			continue
@@ -495,10 +504,11 @@ func (p *Proc) resolveReplicaInput(ent *ci.Entry, ref *ci.OperandRef, abs int) (
 		return ref.Value, inputReady
 	case ci.OperandSelf:
 		if abs == 0 {
-			if ent.SeedBroken {
+			h := ent.TurnHeader
+			if h.SeedBroken {
 				return 0, inputFail
 			}
-			if !ent.SeedCaptured {
+			if !h.SeedCaptured {
 				return 0, inputWait
 			}
 			return ref.Value, inputReady
@@ -517,11 +527,15 @@ func (p *Proc) resolveReplicaInput(ent *ci.Entry, ref *ci.OperandRef, abs int) (
 		}
 	case ci.OperandVec:
 		prod := ref.Prod
-		if prod == nil || !prod.Valid || prod.Gen != ref.Gen {
+		if prod == nil {
+			return 0, inputFail
+		}
+		ph := prod.TurnHeader
+		if !ph.Valid || ph.Gen != ref.Gen {
 			return 0, inputFail
 		}
 		pabs := ref.Base + abs
-		if pabs >= prod.Alloc {
+		if pabs >= ph.Alloc {
 			return 0, inputWait
 		}
 		pslot := prod.Slot(pabs)
@@ -559,11 +573,12 @@ func (p *Proc) replicaTick() {
 	}
 	live := p.activeEntries[:0]
 	for _, ref := range p.activeEntries {
+		h := ref.hdr
 		if !ref.live() {
 			// Config.EmulateAliasedWorklist: the PR 1 bug kept stale
 			// listings alive as long as the way held any valid
 			// incarnation, granting it double arbitration turns.
-			if !p.aliasEmu || !ref.ent.Valid {
+			if !p.aliasEmu || !h.Valid {
 				continue // the incarnation died; drop the listing
 			}
 		}
@@ -574,11 +589,11 @@ func (p *Proc) replicaTick() {
 		// movement call activateEntry to bring it back), or only
 		// waiting replicas an exhausted issue budget cannot serve this
 		// cycle (skip the scan, keep it listed).
-		if ent.Issue == 0 &&
-			(ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0) &&
-			ent.Alloc-ent.Decode >= ent.NRegs {
-			if ent.Pending == 0 {
-				ent.Listed = false
+		if h.Issue == 0 &&
+			(h.SeedCaptured || h.SeedBroken || h.SeedPhys < 0) &&
+			h.Alloc-h.Decode >= h.NRegs {
+			if h.Pending == 0 {
+				h.Listed = false
 				continue
 			}
 			if p.issueBudget <= 0 {
@@ -591,7 +606,7 @@ func (p *Proc) replicaTick() {
 		if len(ent.Replicas) <= 64 {
 			// Visit only actionable (Waiting/Issued) slots, in the same
 			// ascending ring-index order as a full scan.
-			for m := ent.ActiveMask; m != 0; m &= m - 1 {
+			for m := h.ActiveMask; m != 0; m &= m - 1 {
 				p.replicaSlotTick(ent, &ent.Replicas[bits.TrailingZeros64(m)])
 			}
 		} else {
@@ -648,24 +663,25 @@ func (p *Proc) replicaSlotTick(ent *ci.Entry, slot *ci.Replica) {
 // (Entries with a pending seed never park, so polling here keeps the
 // exact naive capture timing.)
 func (p *Proc) captureSeed(ent *ci.Entry) bool {
-	if ent.SeedCaptured || ent.SeedBroken || ent.SeedPhys < 0 {
+	h := ent.TurnHeader
+	if h.SeedCaptured || h.SeedBroken || h.SeedPhys < 0 {
 		return false
 	}
-	if !p.rf.Allocated(ent.SeedPhys) {
-		ent.SeedBroken = true
+	if !p.rf.Allocated(h.SeedPhys) {
+		h.SeedBroken = true
 		return true
 	}
-	if !p.rf.Ready(ent.SeedPhys) {
+	if !p.rf.Ready(h.SeedPhys) {
 		return false
 	}
-	v := p.rf.Value(ent.SeedPhys)
+	v := p.rf.Value(h.SeedPhys)
 	if ent.Src1.Kind == ci.OperandSelf {
 		ent.Src1.Value = v
 	}
 	if ent.Src2.Kind == ci.OperandSelf {
 		ent.Src2.Value = v
 	}
-	ent.SeedCaptured = true
+	h.SeedCaptured = true
 	return true
 }
 
@@ -754,7 +770,11 @@ func (p *Proc) advanceValidated() {
 			continue
 		}
 		ent := e.valEntry
-		if ent == nil || !ent.Valid || ent.Gen != e.valGen {
+		if ent == nil {
+			p.fallbackToExec(w.idx)
+			continue
+		}
+		if h := ent.TurnHeader; !h.Valid || h.Gen != e.valGen {
 			p.fallbackToExec(w.idx)
 			continue
 		}

@@ -3,11 +3,14 @@
 // experiment produces a Table whose rows mirror the series the paper
 // plots; EXPERIMENTS.md records the paper-vs-measured comparison.
 //
-// Runs are memoized (several figures share the same configurations) and
-// executed in parallel across a bounded worker pool (sim.Batch).
-// Simulations are built and run exclusively through the public
-// civect/sim façade; the harness adds memoization and the experiment
-// registry on top.
+// Runs are memoized (several figures share the same configurations).
+// RunExperiments plans the whole sweep up front (a dry run against a
+// recording planner), prefetches it through batched per-benchmark
+// sim.Set sweeps — up to Options.BatchWidth configurations stepping in
+// lockstep over one shared program — and then replays the experiments
+// against the primed cache. Simulations are built and run exclusively
+// through the public civect/sim façade; the harness adds memoization,
+// planning and the experiment registry on top.
 package harness
 
 import (
@@ -57,6 +60,11 @@ type Options struct {
 	Benches []string
 	// Workers bounds parallel simulations (default GOMAXPROCS).
 	Workers int
+	// BatchWidth is the lockstep width of prefetch sweeps (sim.Set
+	// Width): 0 selects the automatic width, 1 forces the legacy
+	// sequential path (one session per cell, no duplicate coalescing).
+	// Results are bit-identical at every width.
+	BatchWidth int
 }
 
 func (o Options) withDefaults() Options {
@@ -97,10 +105,10 @@ var plannerStats = &core.Stats{
 	Loads: 100, Stores: 10,
 }
 
-// Harness memoizes simulation runs across experiments. The shared
-// sim.Batch bounds simulations in flight regardless of how many
-// experiments or RunAll fan-outs share the harness, so Options.Workers
-// is an end-to-end concurrency bound.
+// Harness memoizes simulation runs across experiments. A shared
+// semaphore bounds simulation workers in flight regardless of how many
+// experiments, prefetch sweeps or RunAll fan-outs share the harness, so
+// Options.Workers is an end-to-end concurrency bound.
 type Harness struct {
 	opt  Options
 	mode harnessMode
@@ -114,14 +122,11 @@ type Harness struct {
 	// enumerate different sets, and the sweep machinery asserts on it
 	// (sweep.RunShard, sweep.Tables).
 	requested map[RunSpec]bool
-	// inflight tracks specs currently simulating so concurrent
-	// identical requests wait for the first instead of burning a second
-	// worker slot on a duplicate run.
-	inflight map[RunSpec]chan struct{}
 
-	// batch is the shared worker pool: every simulation in the harness
-	// runs through it, so its capacity is the end-to-end bound.
-	batch *sim.Batch
+	// sem bounds simulation workers; cur/maxCur (under mu) gauge them.
+	sem    chan struct{}
+	cur    int
+	maxCur int
 }
 
 // New builds a harness.
@@ -131,9 +136,27 @@ func New(opt Options) *Harness {
 		opt:       opt,
 		cache:     make(map[RunSpec]*core.Stats),
 		requested: make(map[RunSpec]bool),
-		inflight:  make(map[RunSpec]chan struct{}),
-		batch:     sim.NewBatch(opt.Workers),
+		sem:       make(chan struct{}, opt.Workers),
 	}
+}
+
+// acquire claims one simulation worker slot, updating the concurrency
+// gauge; every slot claimed must be released.
+func (h *Harness) acquire() {
+	h.sem <- struct{}{}
+	h.mu.Lock()
+	h.cur++
+	if h.cur > h.maxCur {
+		h.maxCur = h.cur
+	}
+	h.mu.Unlock()
+}
+
+func (h *Harness) release() {
+	h.mu.Lock()
+	h.cur--
+	h.mu.Unlock()
+	<-h.sem
 }
 
 // NewPlanner builds a harness whose Run records specs instead of
@@ -280,56 +303,148 @@ func (h *Harness) Run(s RunSpec) (*core.Stats, error) {
 	}
 	h.mu.Lock()
 	h.requested[s] = true
-	for {
-		if st, ok := h.cache[s]; ok {
-			h.mu.Unlock()
-			return st, nil
-		}
-		ch, ok := h.inflight[s]
-		if !ok {
-			break
-		}
-		// An identical spec is simulating right now: wait for it
-		// (without holding a worker slot) and re-check the cache.
+	if st, ok := h.cache[s]; ok {
 		h.mu.Unlock()
-		<-ch
-		h.mu.Lock()
+		return st, nil
 	}
-	ch := make(chan struct{})
-	h.inflight[s] = ch
 	h.mu.Unlock()
-	defer func() {
-		h.mu.Lock()
-		delete(h.inflight, s)
-		h.mu.Unlock()
-		close(ch)
-	}()
 
+	// Cache miss: simulate the spec as a one-point set. The prefetch
+	// path keeps RunExperiments and sweep shards from ever landing
+	// here; direct Run/RunAll callers pay one session per miss.
 	w, err := sim.Load(s.Bench)
 	if err != nil {
 		return nil, err
 	}
-	res, err := h.batch.Run(context.Background(), w, specOptions(s)...)
+	set, err := sim.NewSet(w, sim.PointOpts(specOptions(s)))
 	if err != nil {
 		return nil, fmt.Errorf("%s/%v: %v", s.Bench, s.Mode, err)
 	}
-	st := &res.Stats
+	h.acquire()
+	results, err := set.Run(context.Background())
+	h.release()
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v: %v", s.Bench, s.Mode, err)
+	}
+	st := &results[0].Stats
 
 	h.mu.Lock()
-	h.cache[s] = st
+	// A concurrent identical miss may have raced us here; keep the
+	// first result so memoized pointers stay stable (the stats are
+	// bit-identical either way — the simulator is deterministic).
+	if prev, ok := h.cache[s]; ok {
+		st = prev
+	} else {
+		h.cache[s] = st
+	}
 	h.mu.Unlock()
 	return st, nil
 }
 
-// MaxConcurrent returns the highest number of simulations that have
-// executed simultaneously on this harness (never above Options.Workers).
-func (h *Harness) MaxConcurrent() int { return h.batch.MaxConcurrent() }
+// Prefetch simulates the given specs through batched per-benchmark
+// sim.Set sweeps and primes the cache, so subsequent Run calls for them
+// are hits. Specs already cached are skipped; up to Options.Workers
+// benchmark sweeps run concurrently, each stepping up to
+// Options.BatchWidth configurations in lockstep. Prefetching does not
+// mark specs as requested — plan-vs-execution accounting (ExecutedSpecs,
+// UnusedPrimed) still reflects what the experiments actually ask for.
+func (h *Harness) Prefetch(specs []RunSpec) error {
+	seen := make(map[RunSpec]bool, len(specs))
+	byBench := make(map[string][]RunSpec)
+	h.mu.Lock()
+	for _, s := range specs {
+		s = h.normalize(s)
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		if _, ok := h.cache[s]; ok {
+			continue
+		}
+		byBench[s.Bench] = append(byBench[s.Bench], s)
+	}
+	h.mu.Unlock()
+	if len(byBench) == 0 {
+		return nil
+	}
 
-// RunExperiments runs experiments concurrently — each experiment in its
-// own goroutine, with the individual simulations still bounded by the
-// shared worker semaphore and memoized across experiments — and returns
-// their tables in input order. The first error wins.
+	benches := make([]string, 0, len(byBench))
+	for b := range byBench {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i, bench := range benches {
+		wg.Add(1)
+		go func(i int, bench string) {
+			defer wg.Done()
+			errs[i] = h.prefetchBench(bench, byBench[bench])
+		}(i, bench)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetchBench sweeps one benchmark's specs as a single batched set
+// and primes each result.
+func (h *Harness) prefetchBench(bench string, specs []RunSpec) error {
+	w, err := sim.Load(bench)
+	if err != nil {
+		return err
+	}
+	points := make([]sim.PointOpts, len(specs))
+	for i, s := range specs {
+		points[i] = sim.PointOpts(specOptions(s))
+	}
+	set, err := sim.NewSet(w, points...)
+	if err != nil {
+		return fmt.Errorf("%s: %v", bench, err)
+	}
+	set.Width = h.opt.BatchWidth
+	set.Workers = 1 // the harness semaphore is the concurrency bound
+	h.acquire()
+	results, err := set.Run(context.Background())
+	h.release()
+	if err != nil {
+		return fmt.Errorf("%s: %v", bench, err)
+	}
+	for i, res := range results {
+		h.Prime(specs[i], &res.Stats)
+	}
+	return nil
+}
+
+// MaxConcurrent returns the highest number of simulation workers that
+// have executed simultaneously on this harness (never above
+// Options.Workers; a lockstep prefetch sweep counts as one worker).
+func (h *Harness) MaxConcurrent() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxCur
+}
+
+// RunExperiments plans the experiments' sweep with a dry run, batch-
+// prefetches it, then runs the experiments concurrently — each in its
+// own goroutine, every simulation already a cache hit — and returns
+// their tables in input order. The first error wins. Planner and
+// offline harnesses skip the prefetch (nothing to simulate).
 func RunExperiments(h *Harness, exps []Experiment) ([]*Table, error) {
+	if h.mode == modeSimulate {
+		planner := NewPlanner(h.opt)
+		if _, err := RunExperiments(planner, exps); err != nil {
+			return nil, err
+		}
+		if err := h.Prefetch(planner.PlannedSpecs()); err != nil {
+			return nil, err
+		}
+	}
 	tables := make([]*Table, len(exps))
 	errs := make([]error, len(exps))
 	var wg sync.WaitGroup

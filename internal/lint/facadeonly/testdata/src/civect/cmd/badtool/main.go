@@ -1,0 +1,13 @@
+// Package main is a facadeonly fixture: a command that reaches past
+// the façade, which must be flagged.
+package main
+
+import (
+	"civect/internal/core" // want "civect/cmd/badtool imports civect/internal/core"
+	"civect/sim"
+)
+
+func main() {
+	_ = core.Run()
+	_ = sim.New()
+}

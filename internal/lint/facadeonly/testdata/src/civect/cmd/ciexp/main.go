@@ -1,0 +1,17 @@
+// Package main is a facadeonly fixture: ciexp's allowlisted
+// harness/sweep imports must pass, and its sim imports — the session
+// and batched-set entry points alike — are the façade itself.
+package main
+
+import (
+	"civect/internal/harness"
+	"civect/internal/sweep"
+	"civect/sim"
+)
+
+func main() {
+	_ = harness.Tables()
+	_ = sweep.Plan()
+	_ = sim.New()
+	_ = sim.NewSet()
+}

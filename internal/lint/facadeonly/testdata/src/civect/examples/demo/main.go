@@ -1,0 +1,19 @@
+// Package main is a facadeonly fixture: examples get no allowlist
+// entries, so any internal import — even an allowlisted-for-ciexp one
+// — must be flagged; a suppressed second import shows //civet:allow
+// working.
+package main
+
+import (
+	"civect/internal/harness" // want "civect/examples/demo imports civect/internal/harness"
+
+	//civet:allow facadeonly transitional import while the example migrates to sim.Workloads
+	"civect/internal/sweep"
+	"civect/sim"
+)
+
+func main() {
+	_ = harness.Tables()
+	_ = sweep.Plan()
+	_ = sim.New()
+}

@@ -1,0 +1,5 @@
+// Package core is a fixture stub standing in for civect/internal/core.
+package core
+
+// Run is a placeholder so importing fixtures have something to call.
+func Run() int { return 0 }

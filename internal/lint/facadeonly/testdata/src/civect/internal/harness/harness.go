@@ -1,0 +1,6 @@
+// Package harness is a fixture stub standing in for
+// civect/internal/harness.
+package harness
+
+// Tables is a placeholder so importing fixtures have something to call.
+func Tables() string { return "" }

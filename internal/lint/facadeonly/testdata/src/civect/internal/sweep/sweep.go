@@ -1,0 +1,6 @@
+// Package sweep is a fixture stub standing in for
+// civect/internal/sweep.
+package sweep
+
+// Plan is a placeholder so importing fixtures have something to call.
+func Plan() int { return 0 }

@@ -9,7 +9,9 @@ import (
 
 // TestHotalloc pins the analyzer: hot exercises every flagged
 // construct plus the hotpath/coldpath closure rules; hotok is an
-// allocation-free hot path (and a documented allow) that must pass.
+// allocation-free hot path (and a documented allow) that must pass;
+// hotbatch pins the batched lockstep shape — status codes out of the
+// hot chunk loop, error rendering in the unmarked frontier loop.
 func TestHotalloc(t *testing.T) {
-	linttest.Run(t, "testdata", hotalloc.Analyzer, "hot", "hotok")
+	linttest.Run(t, "testdata", hotalloc.Analyzer, "hot", "hotok", "hotbatch")
 }

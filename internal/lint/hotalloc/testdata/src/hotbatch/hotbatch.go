@@ -1,0 +1,70 @@
+// Package hotbatch exercises the hotalloc analyzer on the batched
+// lockstep shape: stepChunk is the per-lane hot root and must report
+// failures as integer status codes, with all error rendering in the
+// unmarked frontier loop (runBatch) outside the hot closure. A chunk
+// loop that renders its own errors (badChunk) is flagged.
+package hotbatch
+
+// status codes a hot chunk loop may return; rendering them into
+// errors happens outside the hot closure.
+const (
+	laneOK = iota
+	laneStalled
+)
+
+// Lane is one pipeline's pre-allocated state.
+type Lane struct {
+	cycle    uint64
+	frontier uint64
+	commits  uint64
+	done     bool
+}
+
+// stepChunk steps the lane to the frontier, returning a status code:
+// the hot loop of the batched engine.
+//
+//civet:hotpath
+func (l *Lane) stepChunk() int {
+	for l.cycle < l.frontier {
+		l.cycle++
+		l.tick()
+		if l.commits == 0 && l.cycle > 1<<19 {
+			return laneStalled
+		}
+	}
+	return laneOK
+}
+
+// tick is hot through stepChunk's closure: indexed state updates only.
+func (l *Lane) tick() {
+	l.commits++
+	if l.commits == l.frontier {
+		l.done = true
+	}
+}
+
+// runBatch is the frontier loop: unmarked, so it may render status
+// codes into errors (boxing, formatting) without being flagged.
+func runBatch(lanes []*Lane) []any {
+	var errs []any
+	for _, l := range lanes {
+		if st := l.stepChunk(); st != laneOK {
+			errs = append(errs, st)
+		}
+	}
+	return errs
+}
+
+// badChunk is the anti-pattern: a hot chunk loop that hands back its
+// failure detail as a boxed value instead of a bare status code.
+//
+//civet:hotpath
+func (l *Lane) badChunk() (int, any) {
+	for l.cycle < l.frontier {
+		l.cycle++
+		if l.commits == 0 {
+			return laneStalled, l.cycle // want "return boxes uint64 into any in hot path"
+		}
+	}
+	return laneOK, nil
+}

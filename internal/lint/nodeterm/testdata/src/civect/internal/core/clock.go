@@ -1,0 +1,21 @@
+// Package core mirrors civect/internal/core's position in the
+// repository: inside the nodeterm default package set, where the same
+// constructs the serve fixture uses freely are diagnosed.
+package core
+
+import "time"
+
+// CycleStamp reads the wall clock inside the deterministic core.
+func CycleStamp() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Race resolves two ready channels by scheduler whim.
+func Race(a, b chan int) int {
+	select { // want "select with 2 communication cases resolves by goroutine scheduling order"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

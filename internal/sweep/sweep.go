@@ -27,7 +27,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"civect/internal/core"
 	"civect/internal/harness"
@@ -216,7 +215,9 @@ func (f *File) sameSweep(g *File) bool {
 }
 
 // RunShard plans the sweep, selects this shard's cells and simulates
-// them on a fresh harness (parallelism bounded by opt.Workers).
+// them on a fresh harness: the cells are batch-prefetched through
+// per-benchmark lockstep sweeps (width opt.BatchWidth, worker bound
+// opt.Workers) and then collected in shard order from the primed cache.
 func RunShard(expIDs []string, opt harness.Options, sh Shard) (*File, error) {
 	specs, err := Plan(expIDs, opt)
 	if err != nil {
@@ -226,23 +227,16 @@ func RunShard(expIDs []string, opt harness.Options, sh Shard) (*File, error) {
 	mine := sh.Select(specs)
 
 	h := harness.New(opt)
-	cells := make([]Cell, len(mine))
-	errs := make([]error, len(mine))
-	var wg sync.WaitGroup
-	for i, s := range mine {
-		wg.Add(1)
-		go func(i int, s harness.RunSpec) {
-			defer wg.Done()
-			st, err := h.Run(s)
-			cells[i] = Cell{Spec: s, Stats: st}
-			errs[i] = err
-		}(i, s)
+	if err := h.Prefetch(mine); err != nil {
+		return nil, fmt.Errorf("sweep: shard %s: %w", sh, err)
 	}
-	wg.Wait()
-	for i, err := range errs {
+	cells := make([]Cell, len(mine))
+	for i, s := range mine {
+		st, err := h.Run(s)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: shard %s cell %s: %w", sh, mine[i].Key(), err)
+			return nil, fmt.Errorf("sweep: shard %s cell %s: %w", sh, s.Key(), err)
 		}
+		cells[i] = Cell{Spec: s, Stats: st}
 	}
 
 	// A shard runs its plan slice directly, so the plan-vs-run hazard

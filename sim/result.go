@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"time"
+
 	"civect/internal/benchfmt"
 )
 
@@ -28,11 +30,18 @@ type Result struct {
 // makeResult renders a stats snapshot as a Result using the wall time
 // accumulated so far.
 func (s *Session) makeResult(stats *Stats, partial bool) *Result {
-	ns := s.wall.Nanoseconds()
+	return newResult(s.w, s.cfg, stats, partial, s.wall)
+}
+
+// newResult renders a stats snapshot as a Result; Session runs and Set
+// sweeps share it, so every simulation in the stack reports one
+// format.
+func newResult(w *Workload, cfg Config, stats *Stats, partial bool, wall time.Duration) *Result {
+	ns := wall.Nanoseconds()
 	r := &Result{
 		Result: benchfmt.Result{
-			Mode:          s.cfg.Mode.String(),
-			Bench:         s.w.Name(),
+			Mode:          cfg.Mode.String(),
+			Bench:         w.Name(),
 			Instr:         stats.Committed,
 			NsPerOp:       ns,
 			IPC:           stats.IPC(),

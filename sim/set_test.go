@@ -1,0 +1,202 @@
+package sim_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"civect/sim"
+)
+
+// sweepPoints is a representative sweep slice: several distinct
+// configurations, one exact duplicate (the coalescing case), across
+// modes.
+func sweepPoints(budget uint64) []sim.PointOpts {
+	return []sim.PointOpts{
+		{sim.WithMode(sim.Scalar), sim.WithInstrBudget(budget)},
+		{sim.WithMode(sim.CI), sim.WithInstrBudget(budget)},
+		{sim.WithMode(sim.CI), sim.WithInstrBudget(budget), sim.WithRegs(512)},
+		{sim.WithMode(sim.Vect), sim.WithInstrBudget(budget)},
+		{sim.WithMode(sim.CI), sim.WithInstrBudget(budget)}, // duplicate of point 1
+		{sim.WithMode(sim.CIIW), sim.WithInstrBudget(budget)},
+	}
+}
+
+// collect sweeps the set and returns results indexed by point, failing
+// the test on any point error.
+func collect(t *testing.T, s *sim.Set) []*sim.Result {
+	t.Helper()
+	results := make([]*sim.Result, s.Len())
+	for pr := range s.Sweep(context.Background()) {
+		if pr.Err != nil {
+			t.Errorf("point %d: %v", pr.Index, pr.Err)
+		}
+		if pr.Result == nil {
+			t.Fatalf("point %d: nil result", pr.Index)
+		}
+		if results[pr.Index] != nil {
+			t.Fatalf("point %d delivered twice", pr.Index)
+		}
+		results[pr.Index] = pr.Result
+	}
+	return results
+}
+
+// TestSetValidatesEagerly proves NewSet surfaces every invalid input
+// at construction: nil workload, empty point list, and per-point
+// option or configuration errors (naming the failing point).
+func TestSetValidatesEagerly(t *testing.T) {
+	w := mustLoad(t, "gcc")
+	if _, err := sim.NewSet(nil, sim.PointOpts{}); err == nil {
+		t.Error("nil workload must fail")
+	}
+	if _, err := sim.NewSet(w); err == nil {
+		t.Error("empty point list must fail")
+	}
+	bad := []sim.PointOpts{
+		{sim.WithMode(sim.CI)},
+		{sim.WithPorts(0)},
+	}
+	if _, err := sim.NewSet(w, bad...); err == nil {
+		t.Error("invalid point option must fail NewSet")
+	}
+	patch := []sim.PointOpts{
+		{sim.WithConfigPatch(func(c *sim.Config) { c.PhysRegs = 8 })},
+	}
+	if _, err := sim.NewSet(w, patch...); err == nil {
+		t.Error("invalid point configuration must fail NewSet")
+	}
+	if _, err := sim.NewSet(w, sim.PointOpts{sim.WithTraceLevel(sim.TraceCommits)}); err == nil {
+		t.Error("trace level without a trace writer must fail NewSet")
+	}
+}
+
+// TestSweepMatchesSessions is the façade-level differential: every
+// point of a batched sweep must produce statistics bit-identical to a
+// Session built with the same options, and the width-1 legacy path
+// must match too.
+func TestSweepMatchesSessions(t *testing.T) {
+	w := mustLoad(t, "gcc")
+	points := sweepPoints(8_000)
+
+	want := make([]sim.Stats, len(points))
+	for i, opts := range points {
+		sess, err := sim.New(w, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Stats
+	}
+
+	for _, width := range []int{0, 1, 2} {
+		set, err := sim.NewSet(w, points...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set.Width = width
+		for i, res := range collect(t, set) {
+			if res.Partial {
+				t.Errorf("width %d point %d: unexpectedly partial", width, i)
+			}
+			if res.Stats != want[i] {
+				t.Errorf("width %d point %d: sweep stats diverge from a Session run", width, i)
+			}
+		}
+	}
+}
+
+// TestSetRun proves the blocking convenience returns results in point
+// order.
+func TestSetRun(t *testing.T) {
+	w := mustLoad(t, "mcf")
+	set, err := sim.NewSet(w, sweepPoints(4_000)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := set.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != set.Len() {
+		t.Fatalf("%d results, want %d", len(results), set.Len())
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Errorf("point %d: nil result", i)
+		}
+	}
+}
+
+// TestSweepObserverPoint proves a point with an observer runs (as an
+// individual session), fires its hooks, and matches the others
+// bit-identically.
+func TestSweepObserverPoint(t *testing.T) {
+	w := mustLoad(t, "gcc")
+	var obs countingObserver
+	points := []sim.PointOpts{
+		{sim.WithMode(sim.CI), sim.WithInstrBudget(5_000)},
+		{sim.WithMode(sim.CI), sim.WithInstrBudget(5_000), sim.WithObserver(&obs, 1_000)},
+	}
+	set, err := sim.NewSet(w, points...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := collect(t, set)
+	if obs.progress == 0 {
+		t.Error("observer point must fire progress hooks")
+	}
+	if results[0].Stats != results[1].Stats {
+		t.Error("observer point diverges from its plain twin")
+	}
+}
+
+// TestSweepCancellation cancels a sweep up front: every point must
+// deliver the context error, running points with partial well-formed
+// results.
+func TestSweepCancellation(t *testing.T) {
+	w := mustLoad(t, "gcc")
+	set, err := sim.NewSet(w, sweepPoints(0)...) // no budget: runs to halt
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	seen := 0
+	for pr := range set.Sweep(ctx) {
+		seen++
+		if !errors.Is(pr.Err, context.Canceled) {
+			t.Errorf("point %d: err = %v, want context.Canceled", pr.Index, pr.Err)
+		}
+		if pr.Result != nil && !pr.Result.Partial {
+			t.Errorf("point %d: canceled result not marked partial", pr.Index)
+		}
+	}
+	if seen != set.Len() {
+		t.Errorf("%d points reported, want %d", seen, set.Len())
+	}
+}
+
+// TestSetSingleUse proves a second Sweep yields every point an error
+// wrapping ErrSessionEnded.
+func TestSetSingleUse(t *testing.T) {
+	w := mustLoad(t, "gcc")
+	set, err := sim.NewSet(w, sim.PointOpts{sim.WithInstrBudget(1_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(t, set)
+	seen := 0
+	for pr := range set.Sweep(context.Background()) {
+		seen++
+		if !errors.Is(pr.Err, sim.ErrSessionEnded) {
+			t.Errorf("point %d: err = %v, want ErrSessionEnded", pr.Index, pr.Err)
+		}
+	}
+	if seen != set.Len() {
+		t.Errorf("%d points reported, want %d", seen, set.Len())
+	}
+}
