@@ -190,6 +190,65 @@ func measureBatchedSweep(bench string, instr uint64, width int) (sim.BenchResult
 	}, nil
 }
 
+// measureSampled times the sampled-simulation pipeline end to end
+// (BBV profile, clustering, functional warming, detailed samples,
+// stitching) through the façade. SimInstrsPerSec reports
+// estimated-stream instructions per wall second — the effective rate
+// sampling buys, which is what the ultra tier's affordability rests
+// on — and IPC/ReuseFraction pin the stitched estimates, which are
+// deterministic, for cigate's exact-match check. The row is fixed on
+// gcc.big over a 200k-instruction stream so the phase structure the
+// clustering targets is actually present.
+func measureSampled() (sim.BenchResult, error) {
+	const bench, instr = "gcc.big", 200_000
+	w, err := sim.Load(bench)
+	if err != nil {
+		return sim.BenchResult{}, err
+	}
+	var res *sim.Result
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := sim.New(w, sim.WithMode(sim.CI), sim.WithInstrBudget(instr),
+				sim.WithSampling(sim.SamplingConfig{}))
+			if err != nil {
+				runErr = err
+				return
+			}
+			if res, err = s.Run(context.Background()); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	if runErr != nil {
+		return sim.BenchResult{}, fmt.Errorf("sampled %s: %w", bench, runErr)
+	}
+	sr := res.Sampled
+	var ipc, reuse float64
+	for _, st := range sr.Stats {
+		switch st.Name {
+		case "ipc":
+			ipc = st.Mean
+		case "reuse_frac":
+			reuse = st.Mean
+		}
+	}
+	ns := br.NsPerOp()
+	return sim.BenchResult{
+		Mode:            "sampled",
+		Bench:           bench,
+		Instr:           sr.TotalInstr,
+		NsPerOp:         ns,
+		SimInstrsPerSec: float64(sr.TotalInstr) / (float64(ns) * 1e-9),
+		BytesPerOp:      br.AllocedBytesPerOp(),
+		AllocsPerOp:     br.AllocsPerOp(),
+		IPC:             ipc,
+		ReuseFraction:   reuse,
+	}, nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output path ('-' for stdout)")
 	bench := flag.String("bench", "gcc,gcc.big,mcf.big", "comma-separated benchmark workloads (both tiers allowed)")
@@ -224,6 +283,16 @@ func main() {
 	{
 		first := strings.Split(*bench, ",")[0]
 		r, err := measureBatchedSweep(first, *instr, *batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cibench: %-12s %-6s %8.0f sim-instrs/s  %8d B/op  %5d allocs/op\n",
+			r.Bench, r.Mode, r.SimInstrsPerSec, r.BytesPerOp, r.AllocsPerOp)
+		results = append(results, r)
+	}
+	{
+		r, err := measureSampled()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cibench: %v\n", err)
 			os.Exit(1)

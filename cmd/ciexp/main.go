@@ -10,6 +10,9 @@
 // per-cell results as JSON; cmd/cimerge joins the shard files back
 // into the complete tables, byte-identical to an unsharded run. This
 // lets a CI farm (or several machines) split a full-budget sweep.
+// Adding -shard-state journals completed cells to a file so a killed
+// shard run can be restarted with the same flags and only simulate the
+// cells it had not yet finished — the output stays byte-identical.
 //
 // Usage:
 //
@@ -42,10 +45,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (cost, fig4, fig5, fig8, fig9, fig10, fig11, fig12, fig13, fig14, regs, stores, ablate) or 'all'")
 	instr := flag.Uint64("instr", 200_000, "committed-instruction budget per simulation")
 	benches := flag.String("benches", "", "comma-separated benchmark subset (default: the selected tier)")
-	tier := flag.String("tier", "base", "benchmark tier: base (the twelve ~3k-instr stand-ins), big (their 100k+-instr variants), or both")
+	tier := flag.String("tier", "base", "benchmark tier: base (the twelve ~3k-instr stand-ins), big (their 100k+-instr variants), ultra (their 10M+-dynamic-instr variants), both (base+big), or all")
 	workers := flag.Int("workers", 0, "maximum simulations in flight across all experiments (default GOMAXPROCS; 1 fully serializes)")
 	batch := flag.Int("batch", 0, "lockstep batch width for sweep prefetch (0 auto, 1 legacy sequential; results are bit-identical at every width)")
 	shard := flag.String("shard", "", "run only shard k/n of the sweep and emit per-cell JSON for cimerge")
+	shardState := flag.String("shard-state", "", "crash-recovery journal for -shard: completed cells append here and a restarted run skips them (removed on success)")
 	jsonOut := flag.Bool("json", false, "emit the tables as JSON instead of aligned text")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
@@ -63,10 +67,14 @@ func main() {
 		// The harness default.
 	case "big":
 		opt.Benches = sim.BigWorkloads()
+	case "ultra":
+		opt.Benches = sim.UltraWorkloads()
 	case "both":
+		opt.Benches = append(sim.BaseWorkloads(), sim.BigWorkloads()...)
+	case "all":
 		opt.Benches = sim.Workloads()
 	default:
-		fmt.Fprintf(os.Stderr, "ciexp: unknown tier %q (base, big, both)\n", *tier)
+		fmt.Fprintf(os.Stderr, "ciexp: unknown tier %q (base, big, ultra, both, all)\n", *tier)
 		os.Exit(2)
 	}
 	if *benches != "" {
@@ -85,12 +93,21 @@ func main() {
 		expIDs = []string{e.ID}
 	}
 
+	if *shardState != "" && *shard == "" {
+		fmt.Fprintln(os.Stderr, "ciexp: -shard-state requires -shard")
+		os.Exit(2)
+	}
 	if *shard != "" {
 		sh, err := sweep.ParseShard(*shard)
 		if err != nil {
 			fail(err)
 		}
-		file, err := sweep.RunShard(expIDs, opt, sh)
+		var file *sweep.File
+		if *shardState != "" {
+			file, err = sweep.RunShardJournaled(expIDs, opt, sh, *shardState)
+		} else {
+			file, err = sweep.RunShard(expIDs, opt, sh)
+		}
 		if err != nil {
 			fail(err)
 		}

@@ -7,11 +7,15 @@
 //
 //	ciserve -addr :8707
 //	ciserve -addr :8707 -trace-dir /var/lib/civect/traces
+//	ciserve -addr :8707 -ckpt-dir /var/lib/civect/ckpts
 //	ciserve -doctor
 //
 // On SIGTERM or SIGINT the daemon stops admitting jobs (503), gives
 // in-flight work until -drain-timeout to finish or checkpoint a
-// partial result, then exits 0 on a clean drain.
+// partial result, then exits 0 on a clean drain. With -ckpt-dir, jobs
+// submitted with a checkpoint_key also persist their machine state at
+// the cut, and resubmitting the same spec under the same key resumes
+// from it.
 package main
 
 import (
@@ -41,6 +45,7 @@ func run() int {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long in-flight jobs get to finish on SIGTERM before being checkpointed")
 	traceDir := flag.String("trace-dir", "", "directory for per-job cycle-trace journal artifacts (empty = tracing disabled)")
+	ckptDir := flag.String("ckpt-dir", "", "directory for resumable-job checkpoints (empty = checkpoint_key disabled)")
 	heapLimit := flag.Uint64("heap-limit", 0, "circuit breaker: live-heap bytes watermark (0 = disabled)")
 	queueWait := flag.Duration("queue-wait-limit", 0, "circuit breaker: queue-wait watermark (0 = disabled)")
 	failureLimit := flag.Int("failure-limit", 0, "circuit breaker: consecutive job failures watermark (0 = disabled)")
@@ -51,10 +56,11 @@ func run() int {
 	logf := log.New(os.Stderr, "ciserve: ", log.LstdFlags).Printf
 
 	cfg := serve.Config{
-		QueueDepth:   *queue,
-		Workers:      *workers,
-		DrainTimeout: *drainTimeout,
-		TraceDir:     *traceDir,
+		QueueDepth:    *queue,
+		Workers:       *workers,
+		DrainTimeout:  *drainTimeout,
+		TraceDir:      *traceDir,
+		CheckpointDir: *ckptDir,
 		Breaker: serve.BreakerConfig{
 			HeapLimitBytes: *heapLimit,
 			QueueWaitLimit: *queueWait,

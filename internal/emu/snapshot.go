@@ -1,0 +1,30 @@
+package emu
+
+import "civect/internal/isa"
+
+// State is a CPU's architectural register state: everything the emulator
+// carries outside data memory. Memory is deliberately not part of it —
+// checkpoints serialize memory separately as sparse deltas over the
+// workload's initial image, and the profiling paths that snapshot every
+// interval boundary want the O(1) register copy, not an O(pages) clone.
+type State struct {
+	Regs     [isa.NumLogical]uint64
+	PC       int
+	Halted   bool
+	Executed uint64
+}
+
+// Snapshot captures the CPU's architectural register state.
+func (c *CPU) Snapshot() State {
+	return State{Regs: c.Regs, PC: c.PC, Halted: c.Halted, Executed: c.Executed}
+}
+
+// Restore rewinds the CPU's architectural register state to a snapshot.
+// Data memory is left as it is: callers restoring a mid-run snapshot
+// pair it with a memory image captured at the same point.
+func (c *CPU) Restore(s State) {
+	c.Regs = s.Regs
+	c.PC = s.PC
+	c.Halted = s.Halted
+	c.Executed = s.Executed
+}

@@ -1,0 +1,91 @@
+package emu
+
+import (
+	"testing"
+
+	"civect/internal/asm"
+	"civect/internal/mem"
+)
+
+// TestSnapshotRestoreRoundTrip anchors Snapshot/Restore on RegChecksum:
+// a CPU snapshotted mid-run and restored onto a fresh CPU over a cloned
+// memory must finish the program with the identical architectural digest
+// (register checksum, memory checksum, executed count, final PC) as the
+// uninterrupted run.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := `
+        movi r1, 0        ; sum
+        movi r2, 0        ; i
+        movi r3, 200      ; limit
+        movi r4, 4096     ; array base
+loop:   shli r5, r2, 3
+        add  r5, r5, r4
+        ld   r6, 0(r5)
+        add  r6, r6, r2
+        st   r6, 0(r5)
+        add  r1, r1, r6
+        addi r2, r2, 1
+        slt  r7, r2, r3
+        bnez r7, loop
+        st   r1, 0(r4)
+        halt
+`
+	prog := asm.MustAssemble("snaproll", src)
+
+	// Reference: run straight through.
+	ref := New(mem.New())
+	if err := ref.Run(prog, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot mid-run at several split points, including before the
+	// first instruction and exactly at the halt.
+	for _, split := range []uint64{0, 1, 137, 500, ref.Executed} {
+		c := New(mem.New())
+		for !c.Halted && c.Executed < split {
+			c.StepOne(prog)
+		}
+		snap := c.Snapshot()
+		memAtSplit := c.Mem.Clone()
+
+		// Perturb the original CPU past the split, then restore in place:
+		// Restore must fully rewind the register state.
+		for i := 0; i < 10 && !c.Halted; i++ {
+			c.StepOne(prog)
+		}
+		c.Restore(snap)
+		c.Mem = memAtSplit
+		if got := c.Snapshot(); got != snap {
+			t.Fatalf("split %d: snapshot after restore differs: %+v vs %+v", split, got, snap)
+		}
+
+		if err := c.Run(prog, 0); err != nil {
+			t.Fatalf("split %d: %v", split, err)
+		}
+		if got, want := c.RegChecksum(), ref.RegChecksum(); got != want {
+			t.Errorf("split %d: register checksum %#x, want %#x", split, got, want)
+		}
+		if got, want := c.Mem.Checksum(), ref.Mem.Checksum(); got != want {
+			t.Errorf("split %d: memory checksum %#x, want %#x", split, got, want)
+		}
+		if c.Executed != ref.Executed {
+			t.Errorf("split %d: executed %d, want %d", split, c.Executed, ref.Executed)
+		}
+		if c.PC != ref.PC {
+			t.Errorf("split %d: final PC %d, want %d", split, c.PC, ref.PC)
+		}
+	}
+}
+
+// TestSnapshotIsolation: a snapshot is a value copy — mutating the CPU
+// afterwards must not alter it.
+func TestSnapshotIsolation(t *testing.T) {
+	c := New(nil)
+	c.Regs[5] = 99
+	snap := c.Snapshot()
+	c.Regs[5] = 1
+	c.PC = 42
+	if snap.Regs[5] != 99 || snap.PC != 0 {
+		t.Fatalf("snapshot aliased live CPU state: %+v", snap)
+	}
+}

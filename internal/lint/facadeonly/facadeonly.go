@@ -36,6 +36,12 @@ var GuardedPrefixes = []string{"civect/cmd/", "civect/examples/"}
 // subsystem (tables, shard files), which itself runs its simulations
 // through sim.
 var Allowlist = map[string][]string{
+	// cickpt's checkpoint/sampled-run/verify subcommands go through sim
+	// like every other command; the exception covers the profile
+	// subcommand, which inspects the BBV profiler and clustering plan
+	// directly (offline analysis with no simulation to construct) and
+	// needs the raw program + image the façade deliberately hides.
+	"civect/cmd/cickpt":  {"civect/internal/sample", "civect/internal/workload"},
 	"civect/cmd/ciexp":   {"civect/internal/harness", "civect/internal/sweep"},
 	"civect/cmd/cimerge": {"civect/internal/sweep"},
 	// ciserve is the simulation-as-a-service daemon: its HTTP, queueing

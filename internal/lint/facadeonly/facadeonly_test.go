@@ -13,7 +13,7 @@ import (
 // examples get no allowlist plus a working //civet:allow.
 func TestFacadeonly(t *testing.T) {
 	linttest.Run(t, "testdata", facadeonly.Analyzer,
-		"civect/cmd/badtool", "civect/cmd/ciexp", "civect/examples/demo")
+		"civect/cmd/badtool", "civect/cmd/ciexp", "civect/cmd/cickpt", "civect/examples/demo")
 }
 
 // TestViolation pins the predicate sim/apiguard_test.go wraps.
@@ -29,6 +29,9 @@ func TestViolation(t *testing.T) {
 		{"civect/cmd/ciexp", "civect/internal/core", true},
 		{"civect/cmd/cimerge", "civect/internal/sweep", false},
 		{"civect/cmd/cimerge", "civect/internal/harness", true},
+		{"civect/cmd/cickpt", "civect/internal/sample", false},
+		{"civect/cmd/cickpt", "civect/internal/workload", false},
+		{"civect/cmd/cickpt", "civect/internal/ckpt", true},
 		{"civect/examples/quickstart", "civect/internal/workload", true},
 		{"civect/internal/harness", "civect/internal/core", false}, // not guarded
 		{"civect/sim", "civect/internal/core", false},              // the façade itself

@@ -1,0 +1,18 @@
+// Package main is a facadeonly fixture: cickpt's allowlisted
+// sample/workload imports (the profile subcommand's offline analysis)
+// must pass, while everything that simulates goes through sim.
+package main
+
+import (
+	"civect/internal/core" // want "civect/cmd/cickpt imports civect/internal/core"
+	"civect/internal/sample"
+	"civect/internal/workload"
+	"civect/sim"
+)
+
+func main() {
+	_ = sample.Collect()
+	_ = workload.Spec()
+	_ = sim.New()
+	_ = core.Run()
+}

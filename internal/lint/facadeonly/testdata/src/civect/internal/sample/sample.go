@@ -1,0 +1,7 @@
+// Package sample is a fixture stub standing in for
+// civect/internal/sample.
+package sample
+
+// Collect is a placeholder so importing fixtures have something to
+// call.
+func Collect() int { return 0 }

@@ -1,0 +1,6 @@
+// Package workload is a fixture stub standing in for
+// civect/internal/workload.
+package workload
+
+// Spec is a placeholder so importing fixtures have something to call.
+func Spec() int { return 0 }

@@ -23,11 +23,12 @@ func TestNodeterm(t *testing.T) {
 }
 
 // TestDefaultPackages pins the shipped deterministic set: the
-// simulator core and everything whose bytes must reproduce. The
-// service layer (civect/internal/serve) is deliberately absent —
-// daemons live on the wall clock.
+// simulator core and everything whose bytes must reproduce — including
+// the sampled-simulation pipeline (internal/sample) and the checkpoint
+// container (internal/ckpt). The service layer (civect/internal/serve)
+// is deliberately absent — daemons live on the wall clock.
 func TestDefaultPackages(t *testing.T) {
-	want := "civect/internal/core,civect/internal/ci,civect/internal/sweep,civect/internal/benchfmt"
+	want := "civect/internal/core,civect/internal/ci,civect/internal/sweep,civect/internal/benchfmt,civect/internal/sample,civect/internal/ckpt"
 	if nodeterm.DefaultPackages != want {
 		t.Fatalf("DefaultPackages = %q, want %q", nodeterm.DefaultPackages, want)
 	}
@@ -46,5 +47,5 @@ func TestDefaultScopeExcludesServe(t *testing.T) {
 	}
 	defer f.Value.Set(old)
 	linttest.Run(t, "testdata", nodeterm.Analyzer,
-		"civect/internal/serve", "civect/internal/core")
+		"civect/internal/serve", "civect/internal/core", "civect/internal/sample")
 }

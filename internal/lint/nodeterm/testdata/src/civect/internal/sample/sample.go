@@ -1,0 +1,17 @@
+// Package sample mirrors civect/internal/sample's position in the
+// repository: the sampled-simulation pipeline is inside the nodeterm
+// default package set, because its BBV projection and k-means
+// clustering must pick identical simulation points on every machine.
+package sample
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Project seeds the random projection from the wall clock and the
+// global source — both diagnosed inside the deterministic set.
+func Project() float64 {
+	_ = time.Now()        // want "time.Now reads the wall clock"
+	return rand.Float64() // want "rand.Float64 uses the package-global source"
+}

@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"sort"
+
+	"civect/internal/ckpt"
+)
+
+// Checkpoint serialization: a memory image is stored as sparse word
+// deltas against a base image (the workload's pristine initial memory),
+// so a checkpoint taken deep into a run costs space proportional to the
+// words the program has actually changed, not the whole working set. A
+// nil base encodes against the empty image, i.e. the full sparse
+// contents. Pages are emitted in sorted key order and words in ascending
+// index order, so the encoding of a given (memory, base) pair is unique —
+// the determinism invariant every civect byte format keeps.
+
+// rawPageThreshold is the diff count above which a page is stored raw:
+// each diff costs 12 bytes against 8 per raw word, so past half the page
+// the raw form is both smaller and cheaper to apply.
+const rawPageThreshold = pageWords / 2
+
+// SaveDelta encodes m as sparse deltas over base.
+func (m *Memory) SaveDelta(e *ckpt.Encoder, base *Memory) {
+	e.Tag("mem")
+	var zero [pageWords]uint64
+
+	keys := make([]uint64, 0, len(m.pages))
+	for k := range m.pages {
+		keys = append(keys, k)
+	}
+	if base != nil {
+		// A page present only in base reads as zero in m but not in base,
+		// so it still needs a delta.
+		for k := range base.pages {
+			if _, ok := m.pages[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Two passes keep the page count a plain prefix field: count first,
+	// then emit. The diff scan is cheap relative to the encode.
+	type pageDiff struct {
+		key   uint64
+		idxs  []int
+		page  *[pageWords]uint64
+		bpage *[pageWords]uint64
+	}
+	diffs := make([]pageDiff, 0, len(keys))
+	for _, k := range keys {
+		page := m.pages[k]
+		if page == nil {
+			page = &zero
+		}
+		var bpage *[pageWords]uint64
+		if base != nil {
+			bpage = base.pages[k]
+		}
+		if bpage == nil {
+			bpage = &zero
+		}
+		var idxs []int
+		for i := range page {
+			if page[i] != bpage[i] {
+				idxs = append(idxs, i)
+			}
+		}
+		if len(idxs) > 0 {
+			diffs = append(diffs, pageDiff{key: k, idxs: idxs, page: page, bpage: bpage})
+		}
+	}
+
+	e.Int(len(diffs))
+	for _, pd := range diffs {
+		e.U64(pd.key)
+		if len(pd.idxs) > rawPageThreshold {
+			e.U8(1) // raw page
+			for i := range pd.page {
+				e.U64(pd.page[i])
+			}
+			continue
+		}
+		e.U8(0) // sparse diffs
+		e.Int(len(pd.idxs))
+		for _, i := range pd.idxs {
+			e.U32(uint32(i))
+			e.U64(pd.page[i])
+		}
+	}
+}
+
+// LoadDelta decodes a memory image written by SaveDelta: a clone of base
+// (empty for nil base) with the deltas applied. Errors latch in d.
+func LoadDelta(d *ckpt.Decoder, base *Memory) *Memory {
+	d.Tag("mem")
+	var m *Memory
+	if base != nil {
+		m = base.Clone()
+	} else {
+		m = New()
+	}
+	npages := d.Count()
+	for p := 0; p < npages; p++ {
+		key := d.U64()
+		mode := d.U8()
+		if d.Err() != nil {
+			return m
+		}
+		page := m.pages[key]
+		if page == nil {
+			page = new([pageWords]uint64)
+			m.pages[key] = page
+		}
+		switch mode {
+		case 1:
+			for i := range page {
+				page[i] = d.U64()
+			}
+		case 0:
+			ndiff := d.Count()
+			for j := 0; j < ndiff; j++ {
+				i := d.U32()
+				v := d.U64()
+				if i >= pageWords {
+					d.Fail("memory delta word index %d out of page range", i)
+					return m
+				}
+				page[i] = v
+			}
+		default:
+			d.Fail("unknown memory page mode %d", mode)
+			return m
+		}
+	}
+	return m
+}

@@ -1,0 +1,172 @@
+// Package sample implements checkpointed, SimPoint-style sampled
+// simulation: a functional profiling pass splits a workload's dynamic
+// instruction stream into fixed-size intervals and summarizes each as a
+// basic-block vector (BBV); deterministic k-means clusters the
+// intervals; one representative per cluster is then simulated in detail
+// (functional fast-forward, detailed warmup, measured sample) and the
+// per-cluster measurements are stitched into whole-run estimates with
+// confidence intervals.
+//
+// Everything here is deterministic: profiling follows the emulator's
+// instruction stream, clustering uses a fixed hash-seeded projection
+// and index-ordered tie-breaking, and no map iteration reaches any
+// output. Two runs of the same workload produce byte-identical plans
+// and estimates.
+package sample
+
+import (
+	"fmt"
+
+	"civect/internal/emu"
+	"civect/internal/isa"
+	"civect/internal/mem"
+)
+
+// Dims is the dimensionality BBVs are random-projected down to before
+// clustering, as SimPoint does: the block population can reach tens of
+// thousands, but interval similarity survives a ~16x-smaller sketch.
+const Dims = 32
+
+// Config tunes the profiling pass.
+type Config struct {
+	// IntervalLen is the interval size in dynamic instructions.
+	IntervalLen uint64
+	// MaxInstr bounds the profiled stream (0: run to halt).
+	MaxInstr uint64
+}
+
+// Profile is the outcome of the profiling pass: one projected BBV per
+// interval plus the stream geometry the plan needs.
+type Profile struct {
+	// IntervalLen is the interval size the profile was taken at.
+	IntervalLen uint64
+	// TotalInstr is the profiled dynamic instruction count.
+	TotalInstr uint64
+	// NumBlocks is the static basic-block population.
+	NumBlocks int
+	// Vectors holds one Dims-dimensional projected, length-normalized
+	// BBV per interval. The last interval may cover fewer than
+	// IntervalLen instructions (the stream remainder).
+	Vectors [][Dims]float64
+	// Lengths is each interval's dynamic instruction count.
+	Lengths []uint64
+}
+
+// blockLeaders computes the static basic-block leader set: instruction
+// 0, every branch/jump target, and every instruction following a
+// branch, jump or halt. blockOf maps each PC to its block index.
+func blockLeaders(prog *isa.Program) (blockOf []int, numBlocks int) {
+	n := prog.Len()
+	leader := make([]bool, n)
+	if n > 0 {
+		leader[0] = true
+	}
+	for pc := 0; pc < n; pc++ {
+		in := prog.At(pc)
+		if in.IsCondBranch() || in.IsJump() {
+			if in.Target >= 0 && in.Target < n {
+				leader[in.Target] = true
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		}
+		if in.Op == isa.OpHalt && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+	blockOf = make([]int, n)
+	id := -1
+	for pc := 0; pc < n; pc++ {
+		if leader[pc] {
+			id++
+		}
+		blockOf[pc] = id
+	}
+	return blockOf, id + 1
+}
+
+// splitmix64 is the deterministic hash behind the projection matrix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// projectSign returns the ±1 projection weight of block b on dim d.
+func projectSign(b, d int) float64 {
+	if splitmix64(uint64(b)<<32|uint64(d))&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Profiler accumulates the current interval's raw block counts and
+// flushes them as projected vectors at each boundary.
+type profiler struct {
+	cfg     Config
+	blockOf []int
+	counts  []uint64 // raw instr-weighted block counts, current interval
+	inIntvl uint64   // instructions in the current interval
+	out     Profile
+}
+
+func (pr *profiler) flush() {
+	if pr.inIntvl == 0 {
+		return
+	}
+	var v [Dims]float64
+	norm := 1 / float64(pr.inIntvl)
+	for b, c := range pr.counts {
+		if c == 0 {
+			continue
+		}
+		w := float64(c) * norm
+		for d := 0; d < Dims; d++ {
+			v[d] += w * projectSign(b, d)
+		}
+		pr.counts[b] = 0
+	}
+	pr.out.Vectors = append(pr.out.Vectors, v)
+	pr.out.Lengths = append(pr.out.Lengths, pr.inIntvl)
+	pr.inIntvl = 0
+}
+
+// Collect runs the functional emulator over the workload and returns
+// per-interval projected BBVs. image is cloned, never mutated.
+func Collect(prog *isa.Program, image *mem.Memory, cfg Config) (*Profile, error) {
+	if cfg.IntervalLen == 0 {
+		return nil, fmt.Errorf("sample: interval length must be positive")
+	}
+	blockOf, numBlocks := blockLeaders(prog)
+	pr := &profiler{
+		cfg:     cfg,
+		blockOf: blockOf,
+		counts:  make([]uint64, numBlocks),
+		out:     Profile{IntervalLen: cfg.IntervalLen, NumBlocks: numBlocks},
+	}
+	var m *mem.Memory
+	if image != nil {
+		m = image.Clone()
+	}
+	cpu := emu.New(m)
+	for !cpu.Halted {
+		if cfg.MaxInstr > 0 && cpu.Executed >= cfg.MaxInstr {
+			break
+		}
+		pc := cpu.PC
+		cpu.StepOne(prog)
+		pr.counts[blockOf[pc]]++
+		pr.inIntvl++
+		if pr.inIntvl == cfg.IntervalLen {
+			pr.flush()
+		}
+	}
+	pr.flush()
+	pr.out.TotalInstr = cpu.Executed
+	if len(pr.out.Vectors) == 0 {
+		return nil, fmt.Errorf("sample: workload executed no instructions")
+	}
+	return &pr.out, nil
+}

@@ -1,0 +1,167 @@
+package sample
+
+// Deterministic k-means over the projected interval vectors. SimPoint
+// uses randomly-initialized k-means with a BIC sweep over k; this
+// implementation keeps the clustering itself but removes every
+// randomness source: centers initialize to evenly spaced intervals
+// (the stream's own phase ordering is the best prior we have),
+// assignment ties break to the lowest cluster index, and the
+// representative of a cluster is its member closest to the centroid
+// with the lowest interval index breaking ties. Same profile in, same
+// plan out — always.
+
+// Plan is a sampling plan: which intervals to simulate in detail and
+// with what weight.
+type Plan struct {
+	// IntervalLen and TotalInstr mirror the profile.
+	IntervalLen uint64
+	TotalInstr  uint64
+	// K is the cluster count actually used (≤ requested: capped by the
+	// interval population).
+	K int
+	// Samples lists the representative intervals, sorted by Start.
+	Samples []PlanSample
+}
+
+// PlanSample is one representative interval.
+type PlanSample struct {
+	// Interval is the interval's index in the profile.
+	Interval int
+	// Start is the dynamic instruction index the interval begins at.
+	Start uint64
+	// Len is the interval's dynamic instruction count.
+	Len uint64
+	// Weight is the fraction of all profiled instructions its cluster
+	// accounts for; weights sum to 1.
+	Weight float64
+}
+
+func dist2(a, b *[Dims]float64) float64 {
+	var s float64
+	for d := 0; d < Dims; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// kmeans clusters vs into k groups, returning each vector's assignment.
+func kmeans(vs [][Dims]float64, k int) []int {
+	n := len(vs)
+	centers := make([][Dims]float64, k)
+	for j := 0; j < k; j++ {
+		centers[j] = vs[j*n/k]
+	}
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for iter := 0; iter < 200; iter++ {
+		changed := false
+		for i := range vs {
+			best, bestD := 0, dist2(&vs[i], &centers[0])
+			for j := 1; j < k; j++ {
+				if d := dist2(&vs[i], &centers[j]); d < bestD {
+					best, bestD = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		var sums [][Dims]float64 = make([][Dims]float64, k)
+		counts := make([]int, k)
+		for i := range vs {
+			j := assign[i]
+			counts[j]++
+			for d := 0; d < Dims; d++ {
+				sums[j][d] += vs[i][d]
+			}
+		}
+		for j := 0; j < k; j++ {
+			if counts[j] == 0 {
+				continue // empty cluster keeps its old center
+			}
+			inv := 1 / float64(counts[j])
+			for d := 0; d < Dims; d++ {
+				centers[j][d] = sums[j][d] * inv
+			}
+		}
+	}
+	return assign
+}
+
+// BuildPlan clusters the profile into at most k groups and picks one
+// representative interval per non-empty cluster.
+func (p *Profile) BuildPlan(k int) *Plan {
+	n := len(p.Vectors)
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	assign := kmeans(p.Vectors, k)
+
+	// Recompute final centroids from the assignment, then pick each
+	// cluster's closest member (lowest index on ties).
+	centroids := make([][Dims]float64, k)
+	var clInstr = make([]uint64, k) // instructions per cluster
+	counts := make([]int, k)
+	for i := range p.Vectors {
+		j := assign[i]
+		counts[j]++
+		clInstr[j] += p.Lengths[i]
+		for d := 0; d < Dims; d++ {
+			centroids[j][d] += p.Vectors[i][d]
+		}
+	}
+	for j := 0; j < k; j++ {
+		if counts[j] > 0 {
+			inv := 1 / float64(counts[j])
+			for d := 0; d < Dims; d++ {
+				centroids[j][d] *= inv
+			}
+		}
+	}
+	rep := make([]int, k)
+	repD := make([]float64, k)
+	for j := range rep {
+		rep[j] = -1
+	}
+	for i := range p.Vectors {
+		j := assign[i]
+		d := dist2(&p.Vectors[i], &centroids[j])
+		if rep[j] < 0 || d < repD[j] {
+			rep[j], repD[j] = i, d
+		}
+	}
+
+	plan := &Plan{IntervalLen: p.IntervalLen, TotalInstr: p.TotalInstr, K: k}
+	for j := 0; j < k; j++ {
+		if rep[j] < 0 {
+			continue // empty cluster
+		}
+		plan.Samples = append(plan.Samples, PlanSample{
+			Interval: rep[j],
+			Start:    uint64(rep[j]) * p.IntervalLen,
+			Len:      p.Lengths[rep[j]],
+			Weight:   float64(clInstr[j]) / float64(p.TotalInstr),
+		})
+	}
+	// Sort by start so the driver's single functional pass visits them
+	// in stream order. Representatives are distinct intervals, so the
+	// key is unique; insertion sort keeps this allocation-free and
+	// obviously stable.
+	s := plan.Samples
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Start < s[j-1].Start; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return plan
+}

@@ -1,0 +1,121 @@
+package sample
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"civect/internal/core"
+	"civect/internal/workload"
+)
+
+// TestStateBitIdentical is the capture contract: measuring from a
+// captured state file returns exactly the Estimate a live sampled run
+// produces — same samples, same stitched statistics, bit for bit — on
+// both workload tiers.
+func TestStateBitIdentical(t *testing.T) {
+	for _, bench := range []string{"gcc", "gcc.big"} {
+		wl, err := workload.Spec(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof, err := Collect(wl.Program, wl.NewMem(), Config{IntervalLen: 5_000, MaxInstr: 120_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := prof.BuildPlan(4)
+		cfg := core.DefaultConfig(core.ModeCI)
+		const warmup = 2_000
+
+		live, err := Run(context.Background(), plan, wl.Program, wl.NewMem(), cfg, warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := CaptureState(context.Background(), plan, wl.Program, wl.NewMem(), cfg, warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := RunFromState(context.Background(), data, wl.Program, wl.NewMem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, replayed) {
+			t.Errorf("%s: RunFromState differs from live Run:\nlive:     %+v\nreplayed: %+v", bench, live, replayed)
+		}
+
+		// Capturing twice yields the same bytes (the determinism
+		// invariant every civect byte format keeps).
+		again, err := CaptureState(context.Background(), plan, wl.Program, wl.NewMem(), cfg, warmup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(data, again) {
+			t.Errorf("%s: capture is not byte-deterministic", bench)
+		}
+	}
+}
+
+// TestStateRejects pins the failure modes: wrong program, wrong payload
+// kind, flipped bytes, truncation.
+func TestStateRejects(t *testing.T) {
+	wl, err := workload.Spec("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Collect(wl.Program, wl.NewMem(), Config{IntervalLen: 5_000, MaxInstr: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := prof.BuildPlan(3)
+	cfg := core.DefaultConfig(core.ModeCI)
+	data, err := CaptureState(context.Background(), plan, wl.Program, wl.NewMem(), cfg, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := PeekState(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Program != wl.Program.Name || info.Plan.TotalInstr != plan.TotalInstr ||
+		len(info.Plan.Samples) != len(plan.Samples) || info.Warmup != 1_000 {
+		t.Errorf("PeekState = %+v, want the captured plan over %s", info, wl.Program.Name)
+	}
+
+	other, err := workload.Spec("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFromState(context.Background(), data, other.Program, other.NewMem()); err == nil {
+		t.Error("RunFromState accepted the wrong program")
+	}
+
+	// A full-machine checkpoint is a different payload kind under the
+	// shared CIVK version space; the state reader must refuse it on the
+	// version, before decoding anything.
+	sp, err := core.ShareProgram(wl.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := core.NewShared(cfg, sp, wl.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFromState(context.Background(), proc.SaveCheckpoint(wl.NewMem()), wl.Program, wl.NewMem()); err == nil {
+		t.Error("RunFromState accepted a full-machine checkpoint")
+	}
+
+	for _, tc := range []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped byte", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-9] }},
+		{"empty", func(b []byte) []byte { return nil }},
+	} {
+		b := append([]byte(nil), data...)
+		if _, err := RunFromState(context.Background(), tc.mut(b), wl.Program, wl.NewMem()); err == nil {
+			t.Errorf("%s state file was accepted", tc.name)
+		}
+	}
+}

@@ -37,6 +37,13 @@ type JobSpec struct {
 	// MaxInstr is the committed-instruction budget (0 = the server's
 	// default; capped by the server's per-job limit).
 	MaxInstr uint64 `json:"max_instr,omitempty"`
+	// CheckpointKey makes the job resumable (requires the server to run
+	// with a checkpoint dir): if the job is cut short — drain deadline,
+	// cancel — its machine state is saved under this key, and a later
+	// submission with the same key and spec continues from the saved
+	// state instead of starting over. Keys are client-chosen file-safe
+	// names (letters, digits, '.', '_', '-').
+	CheckpointKey string `json:"checkpoint_key,omitempty"`
 	// Trace attaches a cycle-trace journal to the job, retained as its
 	// audit artifact (requires the server to run with a trace dir).
 	Trace bool `json:"trace,omitempty"`
@@ -113,6 +120,14 @@ func (sp *JobSpec) resolve(cfg *Config) (*sim.Workload, []sim.Option, error) {
 	if sp.NoDAEC {
 		opts = append(opts, sim.WithDAEC(false))
 	}
+	if sp.CheckpointKey != "" {
+		if cfg.CheckpointDir == "" {
+			return nil, nil, badRequestf("checkpoint_key set but the server runs without a checkpoint dir")
+		}
+		if !safeCheckpointKey(sp.CheckpointKey) {
+			return nil, nil, badRequestf("checkpoint_key %q invalid (want letters, digits, '.', '_', '-'; no leading '.')", sp.CheckpointKey)
+		}
+	}
 	if sp.Trace {
 		if cfg.TraceDir == "" {
 			return nil, nil, badRequestf("trace requested but the server runs without a trace dir")
@@ -135,6 +150,24 @@ func (sp *JobSpec) resolve(cfg *Config) (*sim.Workload, []sim.Option, error) {
 		return nil, nil, markBadRequest(err)
 	}
 	return w, opts, nil
+}
+
+// safeCheckpointKey reports whether a client-chosen checkpoint key is
+// safe to embed in a filename: no separators, no traversal, no hidden
+// files.
+func safeCheckpointKey(key string) bool {
+	if key == "" || key[0] == '.' {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // State is a job's lifecycle phase.
@@ -177,6 +210,9 @@ type Job struct {
 	err       error
 	errClass  Class
 	tracePath string
+	// resumed marks a job that continued from a checkpoint file rather
+	// than starting fresh.
+	resumed   bool
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -206,6 +242,9 @@ type View struct {
 	ErrorClass Class  `json:"error_class,omitempty"`
 	// TracePath is the job's sealed journal artifact, if it recorded one.
 	TracePath string `json:"trace_path,omitempty"`
+	// Resumed marks a job that continued from a prior job's checkpoint
+	// (checkpoint_key) instead of starting fresh.
+	Resumed bool `json:"resumed,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -219,7 +258,7 @@ func (j *Job) View() View {
 	v := View{
 		ID: j.ID, Key: j.Key, Spec: j.Spec, State: j.state,
 		Attempts: j.attempts, Result: j.result, TracePath: j.tracePath,
-		SubmittedAt: j.submitted,
+		Resumed: j.resumed, SubmittedAt: j.submitted,
 	}
 	if j.err != nil {
 		v.Error, v.ErrorClass = j.err.Error(), j.errClass
@@ -310,5 +349,12 @@ func (j *Job) requestCancel() bool {
 func (j *Job) setTracePath(p string) {
 	j.mu.Lock()
 	j.tracePath = p
+	j.mu.Unlock()
+}
+
+// setResumed marks the job as continued from a checkpoint.
+func (j *Job) setResumed() {
+	j.mu.Lock()
+	j.resumed = true
 	j.mu.Unlock()
 }

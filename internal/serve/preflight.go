@@ -106,6 +106,22 @@ func Preflight(ctx context.Context, cfg Config) ([]Check, error) {
 		})
 	}
 
+	if cfg.CheckpointDir != "" {
+		run("checkpoint-dir", func() (string, error) {
+			if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+				return "", err
+			}
+			probe := filepath.Join(cfg.CheckpointDir, "preflight.civk")
+			if err := os.WriteFile(probe, []byte("CIVK-preflight"), 0o644); err != nil {
+				return "", err
+			}
+			if err := os.Remove(probe); err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("%s accepts checkpoint files", cfg.CheckpointDir), nil
+		})
+	}
+
 	if failed {
 		return checks, fmt.Errorf("serve: preflight failed")
 	}

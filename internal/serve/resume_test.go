@@ -1,0 +1,133 @@
+package serve_test
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"civect/internal/serve"
+	"civect/internal/serve/servetest"
+)
+
+// TestDrainedJobResumesByteIdentical is the resumable-job contract end
+// to end: a job with a checkpoint_key is cut at the drain deadline and
+// persists its machine state; a fresh server over the same checkpoint
+// dir accepts the same spec under the same key, resumes from the file,
+// and finishes with statistics bit-identical to an uninterrupted run's.
+// The checkpoint file is gone once the resumed job completes.
+func TestDrainedJobResumesByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"workload":"gcc","max_instr":1500000,"checkpoint_key":"shard7"}`
+
+	s, ts := servetest.Start(t, serve.Config{
+		Workers: 1, DrainTimeout: 100 * time.Millisecond, CheckpointDir: dir,
+	})
+	_, _, b := doJSON(t, "POST", ts.URL+"/v1/jobs", spec, nil)
+	first := decodeView(t, b)
+	waitState(t, ts.URL, first.ID, serve.StateRunning)
+	if err := s.Drain(context.Background()); err == nil {
+		t.Fatal("Drain = nil, want the deadline error (a 1.5M-instr job cannot finish in 100ms)")
+	}
+	v := waitTerminal(t, ts.URL, first.ID)
+	if v.State != serve.StateCanceled || v.Result == nil || !v.Result.Partial {
+		t.Fatalf("drained job = %s (result %+v), want canceled with a partial", v.State, v.Result)
+	}
+	cut := v.Result.Stats.Committed
+	if cut == 0 || cut >= 1_500_000 {
+		t.Fatalf("drained job committed %d instrs, want a strict mid-run cut", cut)
+	}
+	ckpt := filepath.Join(dir, "shard7.gcc.civk")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file after drain: %v", err)
+	}
+
+	// A fresh server over the same checkpoint dir: the daemon restarted.
+	_, ts2 := servetest.Start(t, serve.Config{Workers: 1, CheckpointDir: dir})
+	_, _, b = doJSON(t, "POST", ts2.URL+"/v1/jobs", spec, nil)
+	resumed := decodeView(t, b)
+	got := waitTerminal(t, ts2.URL, resumed.ID)
+	if got.State != serve.StateDone || got.Result == nil || got.Result.Partial {
+		t.Fatalf("resumed job = %s (error %q), want done", got.State, got.Error)
+	}
+	if !got.Resumed {
+		t.Error("resumed job does not report resumed=true")
+	}
+	if got.Result.Stats.Committed <= cut {
+		t.Errorf("resumed job committed %d, want more than the %d-instr cut", got.Result.Stats.Committed, cut)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("checkpoint %s still exists after the resumed job completed (stat err %v)", ckpt, err)
+	}
+
+	// The reference: the same spec uninterrupted (its key has no file
+	// left, so it starts fresh). Statistics must match bit for bit.
+	_, _, b = doJSON(t, "POST", ts2.URL+"/v1/jobs", `{"workload":"gcc","max_instr":1500000}`, nil)
+	ref := waitTerminal(t, ts2.URL, decodeView(t, b).ID)
+	if ref.State != serve.StateDone || ref.Result == nil {
+		t.Fatalf("reference job = %s, want done", ref.State)
+	}
+	if ref.Resumed {
+		t.Error("reference job reports resumed=true but had no checkpoint")
+	}
+	if !reflect.DeepEqual(got.Result.Stats, ref.Result.Stats) {
+		t.Errorf("resumed statistics differ from an uninterrupted run's:\nresumed:   %+v\nreference: %+v",
+			got.Result.Stats, ref.Result.Stats)
+	}
+}
+
+// TestCheckpointKeyValidation pins the admission rules: a key on a
+// server without a checkpoint dir is a 400, as is a key that could
+// escape the directory.
+func TestCheckpointKeyValidation(t *testing.T) {
+	_, ts := servetest.Start(t, serve.Config{Workers: 1})
+	status, _, b := doJSON(t, "POST", ts.URL+"/v1/jobs",
+		`{"workload":"gcc","checkpoint_key":"k1"}`, nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("checkpoint_key without -ckpt-dir: status = %d, want 400\n%s", status, b)
+	}
+
+	dir := t.TempDir()
+	_, ts2 := servetest.Start(t, serve.Config{Workers: 1, CheckpointDir: dir})
+	for _, key := range []string{"../escape", "a/b", ".hidden", "bad key", ""} {
+		body := `{"workload":"gcc","checkpoint_key":"` + key + `"}`
+		status, _, _ := doJSON(t, "POST", ts2.URL+"/v1/jobs", body, nil)
+		// The empty key simply disables checkpointing: it must admit.
+		want := http.StatusBadRequest
+		if key == "" {
+			want = http.StatusCreated
+		}
+		if status != want {
+			t.Errorf("checkpoint_key %q: status = %d, want %d", key, status, want)
+		}
+	}
+}
+
+// TestResumeRejectsChangedSpec: reusing a checkpoint key with a
+// different configuration must fail the job rather than silently run
+// either configuration.
+func TestResumeRejectsChangedSpec(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := servetest.Start(t, serve.Config{
+		Workers: 1, DrainTimeout: 100 * time.Millisecond, CheckpointDir: dir,
+	})
+	_, _, b := doJSON(t, "POST", ts.URL+"/v1/jobs",
+		`{"workload":"gcc","max_instr":1500000,"checkpoint_key":"k2"}`, nil)
+	first := decodeView(t, b)
+	waitState(t, ts.URL, first.ID, serve.StateRunning)
+	if err := s.Drain(context.Background()); err == nil {
+		t.Fatal("Drain = nil, want the deadline error")
+	}
+	waitTerminal(t, ts.URL, first.ID)
+
+	_, ts2 := servetest.Start(t, serve.Config{Workers: 1, CheckpointDir: dir})
+	_, _, b = doJSON(t, "POST", ts2.URL+"/v1/jobs",
+		`{"workload":"gcc","max_instr":1500000,"mode":"scal","checkpoint_key":"k2"}`, nil)
+	v := waitTerminal(t, ts2.URL, decodeView(t, b).ID)
+	if v.State != serve.StateFailed {
+		t.Fatalf("changed-spec resume = %s, want failed", v.State)
+	}
+}

@@ -18,6 +18,11 @@
 //   - graceful drain: Drain stops admissions (503), lets in-flight
 //     jobs finish — or checkpoints their partial results at the drain
 //     deadline — and only then shuts the listener down
+//   - resumable jobs: with a checkpoint dir configured, a job carrying
+//     a checkpoint_key saves its full machine state when cut short,
+//     and resubmitting the same spec under the same key continues from
+//     that state — the final statistics are bit-identical to an
+//     uninterrupted run's
 //   - auditability: a job may attach a cycle-trace journal, written
 //     atomically so the artifact directory never holds a truncated
 //     file
@@ -39,6 +44,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -76,6 +82,13 @@ type Config struct {
 	// submitted with trace=true gets <TraceDir>/<jobID>.civt, written
 	// atomically on success.
 	TraceDir string
+	// CheckpointDir, when set, enables resumable jobs: a job submitted
+	// with a checkpoint_key saves its state to
+	// <CheckpointDir>/<key>.<workload>.civk when cut short (drain
+	// deadline, cancel), and a later job with the same key and spec
+	// resumes from that state instead of starting over. The file is
+	// removed when the job completes.
+	CheckpointDir string
 	// ProgressEvery is the committed-instruction cadence of progress
 	// events (default 25000).
 	ProgressEvery uint64
@@ -306,6 +319,12 @@ func (s *Server) worker() {
 // errShutdown marks jobs cut short because the server is going away.
 var errShutdown = errors.New("serve: shutting down")
 
+// fileExists reports whether path names an existing file.
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
 // runJob drives one job through the attempt/retry loop to a terminal
 // state.
 func (s *Server) runJob(j *Job) {
@@ -400,6 +419,19 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, attempt int) (*sim.Resu
 	opts := append(append([]sim.Option(nil), j.opts...),
 		sim.WithObserver(obs, s.cfg.ProgressEvery))
 
+	// A checkpoint_key makes the job resumable: the session saves its
+	// state under the key when cut short, and an existing file under the
+	// key means a prior job was cut there — continue it instead of
+	// starting over. The file name embeds the workload so a key reused
+	// across workloads can never resume the wrong program; the sim layer
+	// rejects a resume whose options disagree with the checkpointed
+	// configuration, covering every other spec axis.
+	ckptPath := ""
+	if j.Spec.CheckpointKey != "" {
+		ckptPath = filepath.Join(s.cfg.CheckpointDir, j.Spec.CheckpointKey+"."+j.Spec.Workload+".civk")
+		opts = append(opts, sim.WithCheckpoint(ckptPath, 0))
+	}
+
 	var af *trace.AtomicFile
 	if j.Spec.Trace {
 		path := filepath.Join(s.cfg.TraceDir, j.ID+".civt")
@@ -426,7 +458,14 @@ func (s *Server) runAttempt(ctx context.Context, j *Job, attempt int) (*sim.Resu
 		}
 	}
 
-	res, err := s.batch.Run(ctx, j.w, opts...)
+	var res *sim.Result
+	var err error
+	if ckptPath != "" && fileExists(ckptPath) {
+		j.setResumed()
+		res, err = s.batch.Resume(ctx, ckptPath, opts...)
+	} else {
+		res, err = s.batch.Run(ctx, j.w, opts...)
+	}
 	if err != nil {
 		if res != nil && !res.Partial {
 			// The simulation itself completed; only the journal's seal

@@ -1,0 +1,157 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"civect/internal/core"
+	"civect/internal/harness"
+)
+
+// Shard journaling: RunShardJournaled is RunShard with crash recovery.
+// As each cell finishes it is appended to a journal file — one Cell
+// JSON object per line, synced — so a killed shard run can be restarted
+// with the same journal path and simulate only the cells it had not yet
+// completed. The final File is byte-identical to a straight RunShard's:
+// journal-recovered cells carry the exact Stats recorded before the
+// kill, and the deterministic engines make re-simulated cells
+// bit-identical anyway. On success the journal is removed — like a
+// session checkpoint, a leftover journal always means resumable work.
+
+// readJournal parses a shard journal into a key -> Stats map. allowed
+// is the shard's planned cell-key set: a journal entry outside it means
+// the journal belongs to a different sweep (or shard) and is a hard
+// error, never silently dropped. A torn final line — the signature of a
+// kill mid-append — is discarded; corruption anywhere else is an error.
+func readJournal(path string, allowed map[string]bool) (map[string]*core.Stats, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	done := make(map[string]*core.Stats)
+	lines := bytes.Split(blob, []byte("\n"))
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var c Cell
+		if err := json.Unmarshal(line, &c); err != nil {
+			if i == len(lines)-1 {
+				// Torn tail: the previous run died mid-append. Everything
+				// before it is intact; the interrupted cell re-simulates.
+				break
+			}
+			return nil, fmt.Errorf("sweep: journal %s line %d: %w", path, i+1, err)
+		}
+		key := c.Spec.Key()
+		if !allowed[key] {
+			return nil, fmt.Errorf("sweep: journal %s line %d: cell %s is not in this shard's plan (stale journal?)", path, i+1, key)
+		}
+		if _, dup := done[key]; dup {
+			return nil, fmt.Errorf("sweep: journal %s line %d: cell %s recorded twice", path, i+1, key)
+		}
+		if c.Stats == nil {
+			return nil, fmt.Errorf("sweep: journal %s line %d: cell %s has no stats", path, i+1, key)
+		}
+		done[key] = c.Stats
+	}
+	return done, nil
+}
+
+// RunShardJournaled is RunShard with a crash-recovery journal at path:
+// completed cells are appended (and synced) as they finish, cells
+// already in the journal are recovered instead of re-simulated, and the
+// journal is removed once the full shard File is assembled. Restarting
+// after a kill with the same arguments and journal path therefore
+// completes the shard, producing a File byte-identical to an
+// uninterrupted RunShard's.
+func RunShardJournaled(expIDs []string, opt harness.Options, sh Shard, path string) (*File, error) {
+	specs, err := Plan(expIDs, opt)
+	if err != nil {
+		return nil, err
+	}
+	exps, _ := resolveExps(expIDs)
+	mine := sh.Select(specs)
+
+	allowed := make(map[string]bool, len(mine))
+	for _, s := range mine {
+		allowed[s.Key()] = true
+	}
+	done, err := readJournal(path, allowed)
+	if err != nil {
+		return nil, err
+	}
+	if done == nil {
+		done = make(map[string]*core.Stats, len(mine))
+	}
+
+	var pending []harness.RunSpec
+	for _, s := range mine {
+		if _, ok := done[s.Key()]; !ok {
+			pending = append(pending, s)
+		}
+	}
+
+	h := harness.New(opt)
+	cells := make([]Cell, len(mine))
+	if len(pending) > 0 {
+		jf, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: journal: %w", err)
+		}
+		defer jf.Close()
+		jw := bufio.NewWriter(jf)
+		if err := h.Prefetch(pending); err != nil {
+			return nil, fmt.Errorf("sweep: shard %s: %w", sh, err)
+		}
+		for _, s := range pending {
+			st, err := h.Run(s)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: shard %s cell %s: %w", sh, s.Key(), err)
+			}
+			line, err := json.Marshal(Cell{Spec: s, Stats: st})
+			if err != nil {
+				return nil, fmt.Errorf("sweep: journal: %w", err)
+			}
+			jw.Write(line)
+			jw.WriteByte('\n')
+			// Flush and sync per cell: each cell is a whole simulation, so
+			// the sync is cheap relative to the work it makes durable.
+			if err := jw.Flush(); err != nil {
+				return nil, fmt.Errorf("sweep: journal: %w", err)
+			}
+			if err := jf.Sync(); err != nil {
+				return nil, fmt.Errorf("sweep: journal: %w", err)
+			}
+			done[s.Key()] = st
+		}
+	}
+	for i, s := range mine {
+		cells[i] = Cell{Spec: s, Stats: done[s.Key()]}
+	}
+
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: removing completed journal: %w", err)
+	}
+
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	hopt := h.Options()
+	return &File{
+		Version:   FormatVersion,
+		Shard:     sh.K,
+		NumShards: sh.N,
+		Exps:      ids,
+		MaxInstr:  hopt.MaxInstr,
+		Benches:   hopt.Benches,
+		Cells:     cells,
+	}, nil
+}

@@ -1,8 +1,11 @@
 package workload
 
 import (
+	"fmt"
 	"sort"
 	"strings"
+
+	"civect/internal/emu"
 )
 
 // specParams tunes the twelve SpecInt2000 stand-ins. The knobs are set
@@ -67,6 +70,16 @@ var specParams = map[string]Params{
 // "gcc.big" is gcc's tuning re-generated at big-tier scale.
 const BigSuffix = ".big"
 
+// UltraSuffix distinguishes the sampling-scale variant: "gcc.ultra" is
+// gcc's big-tier tuning with the outer epoch loop sized so the program
+// runs at least ultraTargetInstr dynamic instructions before its
+// structural halt — long enough that only the sampled path affords an
+// end-to-end detailed run.
+const UltraSuffix = ".ultra"
+
+// ultraTargetInstr is the ultra tier's dynamic-length floor.
+const ultraTargetInstr = 10_000_000
+
 // bigParams derives the megabyte-scale variant of a base tuning: a
 // uniform 64KB-per-stream array in each of 48 phase blocks (working
 // sets of several MB, past the 2MB L3), an inner trip count small
@@ -81,6 +94,42 @@ func bigParams(p Params) Params {
 	p.Iters = 8
 	p.Seed += 1000
 	return p
+}
+
+// ultraParams derives the sampling-scale variant of a base tuning: the
+// big tier's phase structure (sampling's clustering needs the phase
+// rotation) with a third distinct seed and Epochs left 0 — Spec sizes
+// the epoch count against ultraTargetInstr at generation time.
+func ultraParams(p Params) Params {
+	base := p.Name
+	p = bigParams(p)
+	p.Name = base + UltraSuffix
+	p.Seed += 1000
+	return p
+}
+
+// ultraEpochs sizes the ultra tier's outer trip count: generate the
+// tuning with a single epoch, measure its dynamic instruction count on
+// the emulator, and provision epochs to clear ultraTargetInstr with a
+// 25% margin (epochs are not perfectly identical in dynamic length —
+// StoreIntoStream tunings overwrite value-stream words that steer
+// later hammocks, shifting arm lengths between epochs).
+func ultraEpochs(p Params) (int, error) {
+	probe := p
+	probe.Epochs = 1
+	b, err := Generate(probe)
+	if err != nil {
+		return 0, err
+	}
+	cpu := emu.New(b.NewMem())
+	if err := cpu.Run(b.Program, 0); err != nil {
+		return 0, err
+	}
+	if cpu.Executed == 0 {
+		return 0, fmt.Errorf("workload %s: empty probe epoch", p.Name)
+	}
+	want := uint64(ultraTargetInstr + ultraTargetInstr/4)
+	return int((want + cpu.Executed - 1) / cpu.Executed), nil
 }
 
 // Names returns the benchmark names in SpecInt2000's customary order.
@@ -102,7 +151,17 @@ func BigNames() []string {
 	return names
 }
 
-// ParamsFor returns the tuning for a named benchmark of either tier.
+// UltraNames returns the sampling-scale tier's benchmark names.
+func UltraNames() []string {
+	names := Names()
+	for i := range names {
+		names[i] += UltraSuffix
+	}
+	return names
+}
+
+// ParamsFor returns the tuning for a named benchmark of any tier. An
+// ultra tuning comes back with Epochs 0 — Spec sizes it by measurement.
 func ParamsFor(name string) (Params, bool) {
 	if p, ok := specParams[name]; ok {
 		return p, true
@@ -112,15 +171,28 @@ func ParamsFor(name string) (Params, bool) {
 			return bigParams(p), true
 		}
 	}
+	if base, isUltra := strings.CutSuffix(name, UltraSuffix); isUltra {
+		if p, ok := specParams[base]; ok {
+			return ultraParams(p), true
+		}
+	}
 	return Params{}, false
 }
 
-// Spec generates a named SpecInt2000 stand-in ("gcc") or its
-// megabyte-scale variant ("gcc.big").
+// Spec generates a named SpecInt2000 stand-in ("gcc"), its
+// megabyte-scale variant ("gcc.big"), or its sampling-scale variant
+// ("gcc.ultra").
 func Spec(name string) (*Benchmark, error) {
 	p, ok := ParamsFor(name)
 	if !ok {
 		return nil, errUnknown(name)
+	}
+	if strings.HasSuffix(name, UltraSuffix) && p.Epochs == 0 {
+		n, err := ultraEpochs(p)
+		if err != nil {
+			return nil, err
+		}
+		p.Epochs = n
 	}
 	return Generate(p)
 }

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+
+	"civect/internal/emu"
+)
+
+func TestUltraNames(t *testing.T) {
+	names := UltraNames()
+	if len(names) != len(Names()) {
+		t.Fatalf("got %d ultra names, want %d", len(names), len(Names()))
+	}
+	for i, n := range names {
+		if n != Names()[i]+UltraSuffix {
+			t.Errorf("ultra name %d = %q", i, n)
+		}
+		p, ok := ParamsFor(n)
+		if !ok {
+			t.Errorf("ParamsFor(%q) not found", n)
+			continue
+		}
+		if p.Epochs != 0 {
+			t.Errorf("%s: ParamsFor pre-sizes Epochs to %d; sizing is Spec's job", n, p.Epochs)
+		}
+		if p.Phases <= 1 {
+			t.Errorf("%s: ultra tuning lost the big tier's phase structure", n)
+		}
+	}
+	if _, err := Spec("nosuch" + UltraSuffix); err == nil {
+		t.Error("unknown ultra benchmark must fail")
+	}
+	if _, ok := ParamsFor(UltraSuffix); ok {
+		t.Errorf("bare %q must not resolve", UltraSuffix)
+	}
+	if _, ok := ParamsFor("gcc" + BigSuffix + UltraSuffix); ok {
+		t.Error("stacked tier suffixes must not resolve")
+	}
+}
+
+// TestUltraTierLength proves the tier's contract on one benchmark: at
+// least 10^7 dynamic instructions, a structural halt, and deterministic
+// epoch sizing.
+func TestUltraTierLength(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulates >10^7 instructions")
+	}
+	a, err := Spec("gcc" + UltraSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Spec("gcc" + UltraSuffix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params.Epochs != b.Params.Epochs || a.Params.Epochs == 0 {
+		t.Fatalf("epoch sizing not deterministic: %d vs %d", a.Params.Epochs, b.Params.Epochs)
+	}
+	cpu := emu.New(a.NewMem())
+	if err := cpu.Run(a.Program, 50*ultraTargetInstr); err != nil {
+		t.Fatalf("ultra program did not halt structurally: %v", err)
+	}
+	if !cpu.Halted {
+		t.Fatal("emulator stopped without halting")
+	}
+	if cpu.Executed < ultraTargetInstr {
+		t.Errorf("gcc.ultra ran %d dynamic instructions, want >= %d", cpu.Executed, ultraTargetInstr)
+	}
+	t.Logf("gcc.ultra: %d epochs, %d dynamic instructions", a.Params.Epochs, cpu.Executed)
+}

@@ -60,7 +60,21 @@ func (e *PanicError) Error() string {
 // building or running the session — including one raised by an
 // Observer hook — is recovered and returned as a *PanicError instead
 // of crashing the process.
-func (b *Batch) Run(ctx context.Context, w *Workload, opts ...Option) (res *Result, err error) {
+func (b *Batch) Run(ctx context.Context, w *Workload, opts ...Option) (*Result, error) {
+	return b.run(ctx, func() (*Session, error) { return New(w, opts...) })
+}
+
+// Resume is Run for a checkpointed session: it rebuilds the session
+// from the checkpoint file (see Resume) within the batch's concurrency
+// bound and runs it to completion, with the same cancellation and
+// panic-recovery semantics as Run.
+func (b *Batch) Resume(ctx context.Context, path string, opts ...Option) (*Result, error) {
+	return b.run(ctx, func() (*Session, error) { return Resume(path, opts...) })
+}
+
+// run acquires a worker slot, builds the session and runs it, turning
+// panics into *PanicError.
+func (b *Batch) run(ctx context.Context, build func() (*Session, error)) (res *Result, err error) {
 	select {
 	case b.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -80,7 +94,7 @@ func (b *Batch) Run(ctx context.Context, w *Workload, opts ...Option) (res *Resu
 			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
 		}
 	}()
-	s, err := New(w, opts...)
+	s, err := build()
 	if err != nil {
 		return nil, err
 	}

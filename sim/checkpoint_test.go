@@ -1,0 +1,128 @@
+package sim_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"civect/sim"
+)
+
+// TestCheckpointResumeBitIdentical drives a session partway, persists
+// it with Checkpoint, resumes it from disk, and requires the resumed
+// run's final statistics to be bit-identical to an uninterrupted run's.
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	w := mustLoad(t, "gcc")
+	path := filepath.Join(t.TempDir(), "gcc.ckpt")
+
+	full, err := sim.New(w, sim.WithInstrBudget(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	half, err := sim.New(w, sim.WithInstrBudget(30_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := half.Step(4_000); err != nil {
+		t.Fatal(err)
+	}
+	if half.Halted() {
+		t.Fatal("session halted before the split point")
+	}
+	if err := half.Checkpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := sim.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Workload().Name() != "gcc" {
+		t.Fatalf("resumed workload %q", resumed.Workload().Name())
+	}
+	got, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatalf("resumed run stats differ from uninterrupted run\ngot  %+v\nwant %+v", got.Stats, want.Stats)
+	}
+	if resumed.ARF() != full.ARF() {
+		t.Fatal("resumed run's architectural registers differ from uninterrupted run's")
+	}
+}
+
+// TestWithCheckpointLifecycle checks the WithCheckpoint contract: a
+// cancelled run leaves a resumable checkpoint; a completed run removes
+// it.
+func TestWithCheckpointLifecycle(t *testing.T) {
+	w := mustLoad(t, "gzip")
+	path := filepath.Join(t.TempDir(), "gzip.ckpt")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := sim.New(w, sim.WithInstrBudget(20_000), sim.WithCheckpoint(path, 5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if res == nil || !res.Partial {
+		t.Fatal("cancelled run must return a partial result")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cancelled run left no checkpoint: %v", err)
+	}
+
+	resumed, err := sim.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Partial {
+		t.Fatal("resumed run ended partial")
+	}
+
+	full, err := sim.New(w, sim.WithInstrBudget(20_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Stats, want.Stats) {
+		t.Fatal("drain-and-resume run stats differ from uninterrupted run")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("completed run left its checkpoint behind (stat err %v)", err)
+	}
+}
+
+// TestResumeRejects checks Resume's failure modes: missing file,
+// non-checkpoint bytes.
+func TestResumeRejects(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := sim.Resume(filepath.Join(dir, "nope.ckpt")); err == nil {
+		t.Error("Resume of a missing file must fail")
+	}
+	junk := filepath.Join(dir, "junk.ckpt")
+	if err := os.WriteFile(junk, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Resume(junk); err == nil {
+		t.Error("Resume of junk bytes must fail")
+	}
+}

@@ -20,6 +20,9 @@ type settings struct {
 	traceFirst    uint64
 	traceLast     uint64
 	traceWindowed bool
+	sampling      *SamplingConfig
+	ckptPath      string
+	ckptEvery     uint64
 	err           error
 }
 

@@ -25,6 +25,11 @@ type Result struct {
 	Partial bool `json:"partial,omitempty"`
 	// Stats is the full simulated-statistics block.
 	Stats Stats `json:"stats"`
+	// Sampled carries the stitched estimates of a sampled run
+	// (WithSampling); nil for detailed runs. When set, Stats is zero —
+	// a sampled run has no single detailed statistics block — and the
+	// embedded row's IPC/ReuseFraction are the stitched means.
+	Sampled *SampledRun `json:"sampled,omitempty"`
 }
 
 // makeResult renders a stats snapshot as a Result using the wall time

@@ -30,6 +30,7 @@ import (
 
 	"civect/internal/core"
 	"civect/internal/isa"
+	"civect/internal/mem"
 	"civect/internal/trace"
 )
 
@@ -171,6 +172,14 @@ type Session struct {
 	// rec is the trace journal recorder (WithTrace); nil when the
 	// session is not tracing or the journal is already sealed.
 	rec *trace.Recorder
+	// sampling switches Run to the sampled pipeline (WithSampling).
+	sampling *SamplingConfig
+	// ckptPath/ckptEvery configure checkpoint persistence
+	// (WithCheckpoint); ckptBase is the pristine initial image
+	// checkpoint memory deltas encode against.
+	ckptPath  string
+	ckptEvery uint64
+	ckptBase  *mem.Memory
 }
 
 // New builds a session running workload w under the given options,
@@ -194,6 +203,9 @@ func New(w *Workload, opts ...Option) (*Session, error) {
 	if st.traceW == nil && (st.traceLevel != 0 || st.traceWindowed) {
 		return nil, errors.New("sim: WithTraceLevel/WithTraceWindow require WithTrace")
 	}
+	if st.sampling != nil && (st.traceW != nil || st.obs != nil || st.ckptPath != "") {
+		return nil, errors.New("sim: WithSampling is incompatible with WithTrace, WithObserver and WithCheckpoint")
+	}
 	p, err := core.New(st.cfg, w.prog, w.newMem())
 	if err != nil {
 		return nil, err
@@ -201,7 +213,12 @@ func New(w *Workload, opts ...Option) (*Session, error) {
 	if st.obs != nil {
 		p.SetObserver(st.obs, st.progressEvery)
 	}
-	s := &Session{w: w, cfg: st.cfg, proc: p}
+	s := &Session{w: w, cfg: st.cfg, proc: p, sampling: st.sampling, ckptPath: st.ckptPath, ckptEvery: st.ckptEvery}
+	if st.ckptPath != "" {
+		// Capture the pristine initial image now, while it still matches
+		// the processor's: checkpoint memory deltas encode against it.
+		s.ckptBase = w.newMem()
+	}
 	if st.traceW != nil {
 		lvl := trace.Level(st.traceLevel)
 		if lvl == 0 {
@@ -241,6 +258,12 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 	if s.sealed != nil {
 		return nil, s.sealed
 	}
+	if s.sampling != nil {
+		return s.runSampled(ctx)
+	}
+	if s.ckptPath != "" {
+		return s.runCheckpointed(ctx)
+	}
 	t0 := time.Now()
 	stats, err := s.proc.RunContext(ctx)
 	s.wall += time.Since(t0)
@@ -272,6 +295,9 @@ func (s *Session) Run(ctx context.Context) (*Result, error) {
 func (s *Session) Step(n int) (int, error) {
 	if s.sealed != nil {
 		return 0, s.sealed
+	}
+	if s.sampling != nil {
+		return 0, errors.New("sim: sampled sessions cannot be stepped; use Run")
 	}
 	budget := s.cfg.MaxInstr
 	t0 := time.Now()

@@ -43,10 +43,10 @@ func TestNewValidatesEagerly(t *testing.T) {
 
 func TestLoadRegistry(t *testing.T) {
 	names := sim.Workloads()
-	if len(names) != 24 {
-		t.Fatalf("Workloads() lists %d names, want 24 (12 per tier)", len(names))
+	if len(names) != 36 {
+		t.Fatalf("Workloads() lists %d names, want 36 (12 per tier)", len(names))
 	}
-	if names[0] != "bzip2" || names[12] != "bzip2.big" {
+	if names[0] != "bzip2" || names[12] != "bzip2.big" || names[24] != "bzip2.ultra" {
 		t.Errorf("unexpected registry order: %v", names)
 	}
 	if _, err := sim.Load("nosuch"); err == nil {

@@ -45,9 +45,10 @@ var (
 
 // Workloads returns every registry workload name: the twelve
 // SpecInt2000 stand-ins followed by their megabyte-scale .big
-// variants.
+// variants and their sampling-scale .ultra variants.
 func Workloads() []string {
-	return append(BaseWorkloads(), BigWorkloads()...)
+	names := append(BaseWorkloads(), BigWorkloads()...)
+	return append(names, UltraWorkloads()...)
 }
 
 // BaseWorkloads returns the base-tier registry names (the twelve
@@ -58,6 +59,12 @@ func BaseWorkloads() []string { return workload.Names() }
 // ("gcc.big", ...): 100k+-static-instruction multi-phase variants with
 // multi-MB working sets.
 func BigWorkloads() []string { return workload.BigNames() }
+
+// UltraWorkloads returns the sampling-scale tier's registry names
+// ("gcc.ultra", ...): big-tier structure with the outer epoch loop
+// sized past 10^7 dynamic instructions — workloads only the sampled
+// path affords end-to-end in detail.
+func UltraWorkloads() []string { return workload.UltraNames() }
 
 // Load returns the named registry workload ("gcc", "mcf.big", ...).
 // Loads are memoized — generation is deterministic — and the returned
